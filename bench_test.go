@@ -1,0 +1,335 @@
+// Benchmarks regenerating every table and figure of the paper (one
+// bench target per artifact; see DESIGN.md Section 4 for the index) plus
+// ablations of the design choices the paper calls out.  Benchmarks run
+// at reduced scale so `go test -bench=.` completes quickly; the paper-
+// scale numbers in EXPERIMENTS.md come from `cmd/plumbench -paper`.
+package plum_test
+
+import (
+	"testing"
+
+	"plum/internal/adapt"
+	"plum/internal/core"
+	"plum/internal/dual"
+	"plum/internal/mesh"
+	"plum/internal/msg"
+	"plum/internal/partition"
+	"plum/internal/pmesh"
+	"plum/internal/remap"
+	"plum/internal/solver"
+)
+
+// benchExperiments builds the reduced-scale harness once.
+func benchExperiments(b *testing.B) *core.Experiments {
+	b.Helper()
+	return core.NewExperiments(false)
+}
+
+// BenchmarkTable1Refinement regenerates Table 1: one serial refinement
+// per strategy on the benchmark mesh.
+func BenchmarkTable1Refinement(b *testing.B) {
+	e := benchExperiments(b)
+	for _, cs := range core.PaperCases() {
+		b.Run(cs.Name, func(b *testing.B) {
+			ind := e.Indicator()
+			for i := 0; i < b.N; i++ {
+				a := adapt.FromMesh(e.Global, 0)
+				a.BuildEdgeElems()
+				errv := a.EdgeErrorGeometric(ind)
+				a.MarkTopFraction(errv, cs.Frac)
+				a.Propagate()
+				st := a.Refine()
+				b.ReportMetric(float64(st.ElemsCreated), "elems-created")
+			}
+		})
+	}
+}
+
+// BenchmarkTable2Mappers regenerates Table 2: the three mappers on the
+// similarity matrices produced by the Real_2 pipeline.
+func BenchmarkTable2Mappers(b *testing.B) {
+	e := benchExperiments(b)
+	e.Ps = []int{4, 8, 16}
+	rows := e.Table2(0.33) // build matrices once via the real pipeline
+	_ = rows
+	for _, p := range e.Ps {
+		s := randomSimilarity(p)
+		for _, kind := range []core.Mapper{core.MapHeuristic, core.MapOptMWBG, core.MapOptBMCM} {
+			b.Run(kind.String()+"/P="+itoa(p), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					assign, _ := core.ApplyMapper(kind, s)
+					_ = assign
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig4Speedup regenerates the Fig. 4 measurement: one adaption
+// cycle per (ordering, P).
+func BenchmarkFig4Speedup(b *testing.B) {
+	e := benchExperiments(b)
+	for _, before := range []bool{true, false} {
+		name := "after"
+		if before {
+			name = "before"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				st := e.RunStep(8, 0.33, before, core.MapHeuristic)
+				b.ReportMetric(st.MarkTime+st.RefineTime, "sim-adapt-s")
+			}
+		})
+	}
+}
+
+// BenchmarkFig5RemapTime regenerates the Fig. 5 measurement.
+func BenchmarkFig5RemapTime(b *testing.B) {
+	e := benchExperiments(b)
+	for _, before := range []bool{true, false} {
+		name := "after"
+		if before {
+			name = "before"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				st := e.RunStep(8, 0.60, before, core.MapHeuristic)
+				b.ReportMetric(st.RemapTime, "sim-remap-s")
+				b.ReportMetric(float64(st.Mig.ElemsSent), "elems-moved")
+			}
+		})
+	}
+}
+
+// BenchmarkFig6Anatomy regenerates the Fig. 6 measurement: the phase
+// anatomy across processor counts.
+func BenchmarkFig6Anatomy(b *testing.B) {
+	e := benchExperiments(b)
+	for _, p := range []int{2, 8, 16} {
+		b.Run("P="+itoa(p), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				st := e.RunStep(p, 0.33, true, core.MapHeuristic)
+				b.ReportMetric(st.MarkTime+st.RefineTime, "sim-adapt-s")
+				b.ReportMetric(st.PartitionTime, "sim-part-s")
+				b.ReportMetric(st.RemapTime, "sim-remap-s")
+			}
+		})
+	}
+}
+
+// BenchmarkFig8Impact regenerates the Fig. 8 measurement: solver
+// improvement from load balancing.
+func BenchmarkFig8Impact(b *testing.B) {
+	e := benchExperiments(b)
+	for _, cs := range core.PaperCases() {
+		b.Run(cs.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				st := e.RunStep(8, cs.Frac, true, core.MapHeuristic)
+				b.ReportMetric(st.SolverImprovement(), "improvement-x")
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------
+// Ablations (DESIGN.md Section 5).
+
+// BenchmarkMapperScaling compares mapper costs as P grows (Table 2's
+// time columns, isolated).
+func BenchmarkMapperScaling(b *testing.B) {
+	for _, p := range []int{16, 64, 128} {
+		s := randomSimilarity(p)
+		for _, kind := range []core.Mapper{core.MapHeuristic, core.MapOptMWBG, core.MapOptBMCM} {
+			b.Run(kind.String()+"/P="+itoa(p), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					assign, _ := core.ApplyMapper(kind, s)
+					_ = assign
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkRepartitionSeeding measures the remapping-cost benefit of
+// seeding the repartitioner with the previous partition (the parallel
+// MeTiS behaviour the paper highlights in Section 4.2).
+func BenchmarkRepartitionSeeding(b *testing.B) {
+	e := benchExperiments(b)
+	g := e.Dual
+	prev := partition.Partition(g, 8, partition.Default())
+	wc := make([]int64, g.NumVerts())
+	wr := make([]int64, g.NumVerts())
+	for v := range wc {
+		wc[v] = 1
+		if prev[v] == 0 {
+			wc[v] = 4
+		}
+		wr[v] = 1
+	}
+	gw := g.WithWeights(wc, wr)
+	for _, seeded := range []bool{true, false} {
+		name := "scratch"
+		if seeded {
+			name = "seeded"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				var part []int32
+				if seeded {
+					part = partition.Repartition(gw, 8, prev, partition.Default())
+				} else {
+					part = partition.Partition(gw, 8, partition.Default())
+				}
+				moved := 0
+				for v := range part {
+					if part[v] != prev[v] {
+						moved++
+					}
+				}
+				b.ReportMetric(float64(moved), "verts-moved")
+				b.ReportMetric(float64(partition.EdgeCut(gw, part)), "edge-cut")
+			}
+		})
+	}
+}
+
+// BenchmarkFGranularity sweeps F (partitions per processor, paper
+// Section 4.3): finer granularity reduces movement at higher mapping
+// cost.
+func BenchmarkFGranularity(b *testing.B) {
+	e := benchExperiments(b)
+	g := e.Dual
+	p := 8
+	prev := partition.Partition(g, p, partition.Default())
+	wc := make([]int64, g.NumVerts())
+	wr := make([]int64, g.NumVerts())
+	for v := range wc {
+		wc[v] = 1 + int64(v%5)
+		wr[v] = wc[v]
+	}
+	gw := g.WithWeights(wc, wr)
+	for _, f := range []int{1, 2, 4} {
+		b.Run("F="+itoa(f), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				newPart := partition.Repartition(gw, p*f, prev, partition.Default())
+				// Owner per vertex under F partitions per processor.
+				owner := make([]int32, g.NumVerts())
+				for v := range owner {
+					owner[v] = prev[v]
+				}
+				s := remap.BuildSimilarity(gw.WRemap, owner, newPart, p, f)
+				assign := remap.HeuristicMWBG(s)
+				mc := remap.Cost(s, assign)
+				b.ReportMetric(float64(mc.CTotal), "weight-moved")
+			}
+		})
+	}
+}
+
+// BenchmarkAgglomeration measures the partitioning-time benefit of
+// superelement agglomeration (paper Section 4.1's mitigation for very
+// large initial meshes).
+func BenchmarkAgglomeration(b *testing.B) {
+	e := benchExperiments(b)
+	for _, size := range []int{1, 4, 16} {
+		b.Run("size="+itoa(size), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cg, cmap := dual.Agglomerate(e.Dual, size)
+				cpart := partition.Partition(cg, 8, partition.Default())
+				part := dual.ProjectPartition(cpart, cmap)
+				b.ReportMetric(float64(partition.EdgeCut(e.Dual, part)), "edge-cut")
+				b.ReportMetric(partition.Imbalance(e.Dual, part, 8), "imbalance")
+			}
+		})
+	}
+}
+
+// BenchmarkSolverStep measures the edge-kernel throughput serially and
+// distributed.
+func BenchmarkSolverStep(b *testing.B) {
+	global := mesh.Box(12, 9, 6, 4.7, 1.8, 1.2)
+	b.Run("serial", func(b *testing.B) {
+		a := adapt.FromMesh(global, solver.NComp)
+		solver.InitField(a, solver.GaussianPulse(mesh.Vec3{2.35, 0.9, 0.6}, 0.5))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			solver.Step(a, 0.001)
+		}
+	})
+	b.Run("parallel-4", func(b *testing.B) {
+		g := dual.FromMesh(global)
+		part := partition.Partition(g, 4, partition.Default())
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			msg.Run(4, func(c *msg.Comm) {
+				d := pmesh.New(c, global, part, solver.NComp)
+				ps := solver.NewParallel(d)
+				ps.InitParallel(solver.GaussianPulse(mesh.Vec3{2.35, 0.9, 0.6}, 0.5))
+				ps.Step(0.001)
+			})
+		}
+	})
+}
+
+// BenchmarkMigration measures raw pack/ship/unpack throughput.
+func BenchmarkMigration(b *testing.B) {
+	global := mesh.Box(8, 6, 4, 1, 1, 1)
+	g := dual.FromMesh(global)
+	part := partition.Partition(g, 4, partition.Default())
+	for i := 0; i < b.N; i++ {
+		msg.Run(4, func(c *msg.Comm) {
+			d := pmesh.New(c, global, part, 0)
+			// Rotate ownership by one rank: everything moves.
+			newOwner := make([]int32, global.NumElems())
+			for r := range newOwner {
+				newOwner[r] = (part[r] + 1) % 4
+			}
+			st := d.Migrate(newOwner)
+			if c.Rank() == 0 {
+				b.ReportMetric(float64(st.ElemsRecv), "elems-recv")
+			}
+		})
+	}
+}
+
+// BenchmarkPartitionerSerial measures the multilevel partitioner on the
+// benchmark dual graph.
+func BenchmarkPartitionerSerial(b *testing.B) {
+	e := benchExperiments(b)
+	for _, k := range []int{8, 64} {
+		b.Run("k="+itoa(k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				part := partition.Partition(e.Dual, k, partition.Default())
+				b.ReportMetric(float64(partition.EdgeCut(e.Dual, part)), "edge-cut")
+			}
+		})
+	}
+}
+
+func randomSimilarity(p int) *remap.Similarity {
+	s := remap.NewSimilarity(p, 1)
+	x := uint64(12345)
+	for i := 0; i < p; i++ {
+		for j := 0; j < p; j++ {
+			x = x*6364136223846793005 + 1442695040888963407
+			if x%10 < 4 {
+				s.S[i][j] = int64(x % 1000)
+			}
+		}
+	}
+	return s
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,48 @@
+// Remapwin: demonstrates the paper's key optimization (Section 4.6) —
+// performing data remapping after the edge-marking phase but *before*
+// mesh subdivision.  Because the refinement pattern is known exactly
+// after marking, the balancer can partition for the post-refinement
+// loads while physically moving only the small pre-refinement mesh.
+//
+// The example runs the identical adaption problem both ways and compares
+// the volume of data moved, the simulated remapping time, and the
+// balance of the subdivision phase itself.
+//
+// Run with: go run ./examples/remapwin
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"plum/internal/core"
+	"plum/internal/report"
+)
+
+func main() {
+	e := core.NewExperiments(false)
+	fmt.Printf("remap-before vs remap-after subdivision (%d-element mesh)\n\n", e.Global.NumElems())
+
+	t := report.NewTable("one adaption cycle, Real_2-style marking (33%)",
+		"P", "ordering", "elems moved", "bytes moved", "remap time(s)",
+		"refine time(s)", "total elems")
+	for _, p := range []int{2, 4, 8, 16} {
+		for _, before := range []bool{false, true} {
+			st := e.RunStep(p, 0.33, before, core.MapHeuristic)
+			name := "after"
+			if before {
+				name = "before"
+			}
+			t.AddRow(p, name, st.Mig.ElemsSent, st.Mig.BytesSent,
+				fmt.Sprintf("%.4f", st.RemapTime), fmt.Sprintf("%.4f", st.RefineTime),
+				st.Counts.Elems)
+		}
+	}
+	t.Render(os.Stdout)
+
+	fmt.Println("both orderings produce the identical refined mesh; moving the data")
+	fmt.Println("first is cheaper by roughly the mesh growth factor, and the")
+	fmt.Println("subdivision itself then runs load balanced (paper Section 4.6:")
+	fmt.Println("\"almost a four-fold cost savings for data movement on the largest")
+	fmt.Println("test case\").")
+}

@@ -1,0 +1,235 @@
+package adapt
+
+import "plum/internal/mesh"
+
+// Compaction (paper Section 3): "objects are renumbered due to
+// compaction and all internal and shared data are updated accordingly."
+// Coarsening and migration leave dead slots in the object tables; this
+// pass rebuilds every table densely and rewrites all cross-references.
+// Objects of the initial mesh (ids below NInit*) are alive by invariant
+// in serial meshes, so their ids are preserved; in distributed submeshes
+// whole families leave, and the caller must re-derive any external
+// id-based state afterwards (pmesh rebuilds its maps from gids).
+
+// CompactMaps reports the old-to-new id mappings of a compaction (-1
+// for removed slots).
+type CompactMaps struct {
+	Vert  []int32
+	Edge  []int32
+	Elem  []int32
+	BFace []int32
+}
+
+// Compact removes all dead vertices, edges, elements, and boundary
+// faces, renumbering the survivors in order.  Returns the id maps.
+func (m *Mesh) Compact() CompactMaps {
+	cm := CompactMaps{
+		Vert:  make([]int32, len(m.Coords)),
+		Edge:  make([]int32, len(m.EdgeV)),
+		Elem:  make([]int32, len(m.ElemVerts)),
+		BFace: make([]int32, len(m.BFaceVerts)),
+	}
+
+	// Vertices.
+	nv := int32(0)
+	for v := range m.Coords {
+		if m.VertAlive[v] {
+			cm.Vert[v] = nv
+			nv++
+		} else {
+			cm.Vert[v] = -1
+		}
+	}
+	m.compactVerts(cm.Vert, int(nv))
+
+	// Edges.
+	ne := int32(0)
+	for id := range m.EdgeV {
+		if m.EdgeAlive[id] {
+			cm.Edge[id] = ne
+			ne++
+		} else {
+			cm.Edge[id] = -1
+		}
+	}
+	m.compactEdges(cm.Vert, cm.Edge, int(ne))
+
+	// Elements.
+	nel := int32(0)
+	for e := range m.ElemVerts {
+		if m.ElemAlive[e] {
+			cm.Elem[e] = nel
+			nel++
+		} else {
+			cm.Elem[e] = -1
+		}
+	}
+	m.compactElems(cm.Vert, cm.Edge, cm.Elem, int(nel))
+
+	// Boundary faces.
+	nf := int32(0)
+	for f := range m.BFaceVerts {
+		if m.BFaceAlive[f] {
+			cm.BFace[f] = nf
+			nf++
+		} else {
+			cm.BFace[f] = -1
+		}
+	}
+	m.compactBFaces(cm.Vert, cm.Edge, cm.Elem, cm.BFace, int(nf))
+
+	m.EdgeElems = nil
+	m.bfaceParentCache = nil
+	return cm
+}
+
+func (m *Mesh) compactVerts(vmap []int32, nv int) {
+	newCoords := make([]mesh.Vec3, nv)
+	newGID := make([]uint64, nv)
+	newSol := make([]float64, nv*m.NComp)
+	for v, nvid := range vmap {
+		if nvid < 0 {
+			continue
+		}
+		newCoords[nvid] = m.Coords[v]
+		newGID[nvid] = m.VertGID[v]
+		copy(newSol[int(nvid)*m.NComp:], m.Sol[v*m.NComp:(v+1)*m.NComp])
+	}
+	m.Coords = newCoords
+	m.VertGID = newGID
+	m.VertAlive = make([]bool, nv)
+	for i := range m.VertAlive {
+		m.VertAlive[i] = true
+	}
+	m.Sol = newSol
+	m.gidVert = make(map[uint64]int32, nv)
+	for v, g := range newGID {
+		m.gidVert[g] = int32(v)
+	}
+}
+
+func (m *Mesh) compactEdges(vmap, emap []int32, ne int) {
+	newV := make([][2]int32, ne)
+	newChild := make([][2]int32, ne)
+	newParent := make([]int32, ne)
+	newMid := make([]int32, ne)
+	newMark := make([]bool, ne)
+	for id, nid := range emap {
+		if nid < 0 {
+			continue
+		}
+		a, b := vmap[m.EdgeV[id][0]], vmap[m.EdgeV[id][1]]
+		newV[nid] = canonPair(a, b)
+		c0, c1 := m.EdgeChild[id][0], m.EdgeChild[id][1]
+		if c0 >= 0 {
+			newChild[nid] = [2]int32{emap[c0], emap[c1]}
+		} else {
+			newChild[nid] = [2]int32{-1, -1}
+		}
+		if p := m.EdgeParent[id]; p >= 0 {
+			newParent[nid] = emap[p]
+		} else {
+			newParent[nid] = -1
+		}
+		if mid := m.EdgeMid[id]; mid >= 0 {
+			newMid[nid] = vmap[mid]
+		} else {
+			newMid[nid] = -1
+		}
+		newMark[nid] = m.EdgeMark[id]
+	}
+	m.EdgeV = newV
+	m.EdgeChild = newChild
+	m.EdgeParent = newParent
+	m.EdgeMid = newMid
+	m.EdgeMark = newMark
+	m.EdgeAlive = make([]bool, ne)
+	for i := range m.EdgeAlive {
+		m.EdgeAlive[i] = true
+	}
+	m.edgeByPair = make(map[[2]int32]int32, ne)
+	for id, pair := range newV {
+		m.edgeByPair[pair] = int32(id)
+	}
+}
+
+func (m *Mesh) compactElems(vmap, emap, elmap []int32, nel int) {
+	newVerts := make([][4]int32, nel)
+	newEdges := make([][6]int32, nel)
+	newParent := make([]int32, nel)
+	newChild := make([][]int32, nel)
+	newRoot := make([]int32, nel)
+	for e, nid := range elmap {
+		if nid < 0 {
+			continue
+		}
+		for k, v := range m.ElemVerts[e] {
+			newVerts[nid][k] = vmap[v]
+		}
+		for k, id := range m.ElemEdges[e] {
+			newEdges[nid][k] = emap[id]
+		}
+		if p := m.ElemParent[e]; p >= 0 {
+			newParent[nid] = elmap[p]
+		} else {
+			newParent[nid] = -1
+		}
+		if ch := m.ElemChild[e]; ch != nil {
+			nch := make([]int32, len(ch))
+			for k, c := range ch {
+				nch[k] = elmap[c]
+			}
+			newChild[nid] = nch
+		}
+		newRoot[nid] = elmap[m.ElemRoot[e]]
+	}
+	m.ElemVerts = newVerts
+	m.ElemEdges = newEdges
+	m.ElemParent = newParent
+	m.ElemChild = newChild
+	m.ElemRoot = newRoot
+	m.ElemAlive = make([]bool, nel)
+	for i := range m.ElemAlive {
+		m.ElemAlive[i] = true
+	}
+}
+
+func (m *Mesh) compactBFaces(vmap, emap, elmap, fmap []int32, nf int) {
+	newVerts := make([][3]int32, nf)
+	newEdges := make([][3]int32, nf)
+	newChild := make([][]int32, nf)
+	newRoot := make([]int32, nf)
+	for f, nid := range fmap {
+		if nid < 0 {
+			continue
+		}
+		for k, v := range m.BFaceVerts[f] {
+			newVerts[nid][k] = vmap[v]
+		}
+		for k, id := range m.BFaceEdges[f] {
+			newEdges[nid][k] = emap[id]
+		}
+		if ch := m.BFaceChild[f]; ch != nil {
+			nch := make([]int32, len(ch))
+			for k, c := range ch {
+				nch[k] = fmap[c]
+			}
+			newChild[nid] = nch
+		}
+		newRoot[nid] = elmap[m.BFaceRoot[f]]
+	}
+	m.BFaceVerts = newVerts
+	m.BFaceEdges = newEdges
+	m.BFaceChild = newChild
+	m.BFaceRoot = newRoot
+	m.BFaceAlive = make([]bool, nf)
+	for i := range m.BFaceAlive {
+		m.BFaceAlive[i] = true
+	}
+}
+
+// StorageSlots reports the raw table sizes (including dead slots), for
+// measuring what compaction reclaims.
+func (m *Mesh) StorageSlots() (verts, edges, elems, bfaces int) {
+	return len(m.Coords), len(m.EdgeV), len(m.ElemVerts), len(m.BFaceVerts)
+}

@@ -1,0 +1,146 @@
+package adapt
+
+import (
+	"math"
+	"testing"
+
+	"plum/internal/mesh"
+)
+
+// refineThenCoarsen produces a mesh with dead slots.
+func refineThenCoarsen(t *testing.T) *Mesh {
+	t.Helper()
+	a := FromMesh(mesh.Box(2, 2, 2, 2, 2, 2), 1)
+	for v := range a.Coords {
+		a.Sol[v] = a.Coords[v][0] + a.Coords[v][1]
+	}
+	ind := SphericalIndicator(mesh.Vec3{1, 1, 1}, 0.6, 0.4)
+	a.BuildEdgeElems()
+	errv := a.EdgeErrorGeometric(ind)
+	a.MarkTopFraction(errv, 0.3)
+	a.Propagate()
+	a.Refine()
+	moved := SphericalIndicator(mesh.Vec3{3, 3, 3}, 0.2, 0.2)
+	errv = a.EdgeErrorGeometric(moved)
+	a.Coarsen(a.TargetCoarsenEdges(errv, 0.5))
+	if err := a.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestCompactRemovesDeadSlots(t *testing.T) {
+	a := refineThenCoarsen(t)
+	before := a.ActiveCounts()
+	vSlots, eSlots, elSlots, fSlots := a.StorageSlots()
+
+	deadEdges := 0
+	for id := range a.EdgeV {
+		if !a.EdgeAlive[id] {
+			deadEdges++
+		}
+	}
+	if deadEdges == 0 {
+		t.Fatal("test setup produced no dead edges; compaction untested")
+	}
+
+	cm := a.Compact()
+	if err := a.CheckInvariants(); err != nil {
+		t.Fatalf("after compact: %v", err)
+	}
+	after := a.ActiveCounts()
+	if after != before {
+		t.Errorf("active counts changed: %+v -> %+v", before, after)
+	}
+	v2, e2, el2, f2 := a.StorageSlots()
+	if v2 > vSlots || e2 >= eSlots || el2 > elSlots || f2 > fSlots {
+		t.Errorf("slots not reclaimed: (%d,%d,%d,%d) -> (%d,%d,%d,%d)",
+			vSlots, eSlots, elSlots, fSlots, v2, e2, el2, f2)
+	}
+	// Every surviving slot must be alive.
+	for v := range a.VertAlive {
+		if !a.VertAlive[v] {
+			t.Fatal("dead vertex slot survived compaction")
+		}
+	}
+	for id := range a.EdgeAlive {
+		if !a.EdgeAlive[id] {
+			t.Fatal("dead edge slot survived compaction")
+		}
+	}
+	// Maps have the right shape.
+	if len(cm.Vert) != vSlots || len(cm.Edge) != eSlots {
+		t.Error("compact maps sized wrongly")
+	}
+}
+
+func TestCompactPreservesGeometryAndSolution(t *testing.T) {
+	a := refineThenCoarsen(t)
+	// Record gid -> (coords, sol) before compaction.
+	type rec struct {
+		c mesh.Vec3
+		s float64
+	}
+	want := make(map[uint64]rec)
+	for v := range a.Coords {
+		if a.VertAlive[v] {
+			want[a.VertGID[v]] = rec{a.Coords[v], a.Sol[v]}
+		}
+	}
+	vol := a.TotalActiveVolume()
+	a.Compact()
+	if len(want) != len(a.Coords) {
+		t.Fatalf("vertex count %d != alive count %d", len(a.Coords), len(want))
+	}
+	for v := range a.Coords {
+		w, ok := want[a.VertGID[v]]
+		if !ok {
+			t.Fatalf("vertex gid %d appeared from nowhere", a.VertGID[v])
+		}
+		if w.c != a.Coords[v] || w.s != a.Sol[v] {
+			t.Fatalf("vertex gid %d data corrupted", a.VertGID[v])
+		}
+	}
+	if math.Abs(a.TotalActiveVolume()-vol) > 1e-9 {
+		t.Errorf("volume changed: %v -> %v", vol, a.TotalActiveVolume())
+	}
+}
+
+func TestCompactThenAdaptAgain(t *testing.T) {
+	// The compacted mesh must support further adaption cycles.
+	a := refineThenCoarsen(t)
+	a.Compact()
+	ind := SphericalIndicator(mesh.Vec3{0.5, 0.5, 0.5}, 0.4, 0.3)
+	a.BuildEdgeElems()
+	errv := a.EdgeErrorGeometric(ind)
+	a.MarkTopFraction(errv, 0.25)
+	a.Propagate()
+	a.Refine()
+	if err := a.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// And coarsen once more.
+	moved := SphericalIndicator(mesh.Vec3{3, 3, 3}, 0.2, 0.2)
+	errv = a.EdgeErrorGeometric(moved)
+	a.Coarsen(a.TargetCoarsenEdges(errv, 0.5))
+	if err := a.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompactIdempotentOnCleanMesh(t *testing.T) {
+	a := FromMesh(mesh.Box(2, 2, 1, 1, 1, 1), 0)
+	before := a.ActiveCounts()
+	cm := a.Compact()
+	if a.ActiveCounts() != before {
+		t.Error("compacting a clean mesh changed it")
+	}
+	for v, nv := range cm.Vert {
+		if nv != int32(v) {
+			t.Fatal("clean compaction renumbered vertices")
+		}
+	}
+	if err := a.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

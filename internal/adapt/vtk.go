@@ -1,0 +1,79 @@
+package adapt
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// WriteVTK writes the active computational mesh in legacy VTK
+// (UNSTRUCTURED_GRID) format for visualization — the post-processing
+// use-case the paper's finalization phase exists for ("some post
+// processing tasks, such as visualization, need to process the whole
+// grid simultaneously").  Solution component comp is attached as point
+// data when 0 <= comp < NComp; pass -1 for geometry only.  Cell data
+// always includes the root-element id (so partition assignments can be
+// painted onto the mesh by the caller's lookup).
+func (m *Mesh) WriteVTK(w io.Writer, comp int) error {
+	bw := bufio.NewWriter(w)
+
+	// Dense vertex numbering over alive vertices.
+	vid := make([]int32, len(m.Coords))
+	nv := int32(0)
+	for v := range m.Coords {
+		if m.VertAlive[v] {
+			vid[v] = nv
+			nv++
+		} else {
+			vid[v] = -1
+		}
+	}
+	var actives []int32
+	for e := range m.ElemVerts {
+		if m.ElemActive(int32(e)) {
+			actives = append(actives, int32(e))
+		}
+	}
+
+	fmt.Fprintln(bw, "# vtk DataFile Version 3.0")
+	fmt.Fprintln(bw, "PLUM adapted tetrahedral mesh")
+	fmt.Fprintln(bw, "ASCII")
+	fmt.Fprintln(bw, "DATASET UNSTRUCTURED_GRID")
+
+	fmt.Fprintf(bw, "POINTS %d double\n", nv)
+	for v := range m.Coords {
+		if m.VertAlive[v] {
+			c := m.Coords[v]
+			fmt.Fprintf(bw, "%g %g %g\n", c[0], c[1], c[2])
+		}
+	}
+
+	fmt.Fprintf(bw, "CELLS %d %d\n", len(actives), 5*len(actives))
+	for _, e := range actives {
+		ev := m.ElemVerts[e]
+		fmt.Fprintf(bw, "4 %d %d %d %d\n", vid[ev[0]], vid[ev[1]], vid[ev[2]], vid[ev[3]])
+	}
+	fmt.Fprintf(bw, "CELL_TYPES %d\n", len(actives))
+	for range actives {
+		fmt.Fprintln(bw, 10) // VTK_TETRA
+	}
+
+	fmt.Fprintf(bw, "CELL_DATA %d\n", len(actives))
+	fmt.Fprintln(bw, "SCALARS root int 1")
+	fmt.Fprintln(bw, "LOOKUP_TABLE default")
+	for _, e := range actives {
+		fmt.Fprintln(bw, m.ElemRoot[e])
+	}
+
+	if comp >= 0 && comp < m.NComp {
+		fmt.Fprintf(bw, "POINT_DATA %d\n", nv)
+		fmt.Fprintf(bw, "SCALARS sol%d double 1\n", comp)
+		fmt.Fprintln(bw, "LOOKUP_TABLE default")
+		for v := range m.Coords {
+			if m.VertAlive[v] {
+				fmt.Fprintf(bw, "%g\n", m.Sol[v*m.NComp+comp])
+			}
+		}
+	}
+	return bw.Flush()
+}

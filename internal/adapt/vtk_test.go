@@ -1,0 +1,83 @@
+package adapt
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"plum/internal/mesh"
+)
+
+func TestWriteVTK(t *testing.T) {
+	a := FromMesh(mesh.Box(2, 2, 1, 1, 1, 1), 1)
+	for v := range a.Coords {
+		a.Sol[v] = a.Coords[v][2]
+	}
+	a.BuildEdgeElems()
+	for _, id := range a.ElemEdges[0] {
+		a.MarkEdge(id)
+	}
+	a.Propagate()
+	a.Refine()
+
+	var buf bytes.Buffer
+	if err := a.WriteVTK(&buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	c := a.ActiveCounts()
+	if !strings.Contains(out, fmt.Sprintf("POINTS %d double", c.Verts)) {
+		t.Error("POINTS header wrong")
+	}
+	if !strings.Contains(out, fmt.Sprintf("CELLS %d %d", c.Elems, 5*c.Elems)) {
+		t.Error("CELLS header wrong")
+	}
+	if !strings.Contains(out, "SCALARS sol0 double 1") {
+		t.Error("solution data missing")
+	}
+	if !strings.Contains(out, "SCALARS root int 1") {
+		t.Error("root cell data missing")
+	}
+	// Every cell line indexes valid points.
+	sc := bufio.NewScanner(strings.NewReader(out))
+	inCells := false
+	cells := 0
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "CELLS") {
+			inCells = true
+			continue
+		}
+		if strings.HasPrefix(line, "CELL_TYPES") {
+			inCells = false
+		}
+		if inCells {
+			var n, v0, v1, v2, v3 int
+			if _, err := fmt.Sscanf(line, "%d %d %d %d %d", &n, &v0, &v1, &v2, &v3); err != nil {
+				t.Fatalf("bad cell line %q: %v", line, err)
+			}
+			for _, v := range []int{v0, v1, v2, v3} {
+				if v < 0 || v >= c.Verts {
+					t.Fatalf("cell references point %d of %d", v, c.Verts)
+				}
+			}
+			cells++
+		}
+	}
+	if cells != c.Elems {
+		t.Errorf("wrote %d cells, want %d", cells, c.Elems)
+	}
+}
+
+func TestWriteVTKGeometryOnly(t *testing.T) {
+	a := FromMesh(mesh.Box(1, 1, 1, 1, 1, 1), 0)
+	var buf bytes.Buffer
+	if err := a.WriteVTK(&buf, -1); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "POINT_DATA") {
+		t.Error("geometry-only export should omit point data")
+	}
+}

@@ -1,0 +1,154 @@
+// Package core implements the PLUM framework driver: the
+// solve -> adapt -> balance cycle of the paper's Fig. 1, wiring the mesh
+// adaptor (pmesh/adapt), repartitioner (partition), processor
+// reassignment and cost model (remap), and the flow-solver workload
+// (solver) together, with per-phase simulated-time accounting used to
+// regenerate the paper's figures.
+package core
+
+import (
+	"time"
+
+	"plum/internal/msg"
+	"plum/internal/partition"
+	"plum/internal/remap"
+)
+
+// Mapper selects the processor-reassignment algorithm (paper Section
+// 4.4 / Table 2).
+type Mapper int
+
+// The three mappers the paper compares.
+const (
+	MapHeuristic Mapper = iota // greedy MWBG, O(E), TotalV metric
+	MapOptMWBG                 // optimal MWBG, TotalV metric
+	MapOptBMCM                 // optimal BMCM, MaxV metric
+)
+
+func (m Mapper) String() string {
+	switch m {
+	case MapHeuristic:
+		return "HeuMWBG"
+	case MapOptMWBG:
+		return "OptMWBG"
+	default:
+		return "OptBMCM"
+	}
+}
+
+// ApplyMapper runs the chosen mapper on a similarity matrix and reports
+// the wall-clock time it took (the paper's Table 2 reassignment times).
+func ApplyMapper(kind Mapper, s *remap.Similarity) (assign []int32, wall float64) {
+	start := time.Now()
+	switch kind {
+	case MapHeuristic:
+		assign = remap.HeuristicMWBG(s)
+	case MapOptMWBG:
+		assign = remap.OptimalMWBG(s)
+	default:
+		assign = remap.OptimalBMCM(s, 1, 1)
+	}
+	return assign, time.Since(start).Seconds()
+}
+
+// mapperWork returns the simulated host compute charge of a mapper in
+// abstract work units (entries touched): the heuristic is O(E), the
+// optimal algorithms are roughly cubic in P*F.
+func mapperWork(kind Mapper, p, f int) float64 {
+	n := float64(p * f)
+	switch kind {
+	case MapHeuristic:
+		return n * n
+	default:
+		return n * n * n
+	}
+}
+
+// Config tunes one PLUM adaption step.
+type Config struct {
+	F           int           // partitions per processor (paper uses 1)
+	NAdapt      int           // solver iterations between adaptions (gain model)
+	Metric      remap.Metric  // TotalV or MaxV redistribution model
+	Mapper      Mapper        // processor reassignment algorithm
+	Machine     remap.Machine // cost-model constants
+	RemapBefore bool          // remap before subdivision (the paper's optimization)
+	// ImbalanceThreshold triggers repartitioning when the predicted
+	// imbalance (Wmax/Wavg) exceeds it (the "quick evaluation" of
+	// Fig. 1).  Zero means 1.10.
+	ImbalanceThreshold float64
+	// ForceAccept skips the gain-vs-cost decision (experiments that
+	// always remap, as in the paper's single-step studies).
+	ForceAccept bool
+	PartOpts    partition.Options
+}
+
+// DefaultConfig returns the configuration used by the experiment
+// harness, matching the paper's setup: F=1, TotalV metric, heuristic
+// mapper, remapping before subdivision.
+func DefaultConfig() Config {
+	return Config{
+		F:                  1,
+		NAdapt:             50,
+		Metric:             remap.TotalV,
+		Mapper:             MapHeuristic,
+		Machine:            remap.SP2Machine(),
+		RemapBefore:        true,
+		ImbalanceThreshold: 1.10,
+		ForceAccept:        true,
+		PartOpts:           partition.Default(),
+	}
+}
+
+// rankLoads accumulates per-rank computational loads from per-root
+// weights and an ownership vector.
+func rankLoads(w []int64, owner []int32, p int) []int64 {
+	loads := make([]int64, p)
+	for r, o := range owner {
+		loads[o] += w[r]
+	}
+	return loads
+}
+
+func maxLoad(loads []int64) int64 {
+	var m int64
+	for _, l := range loads {
+		if l > m {
+			m = l
+		}
+	}
+	return m
+}
+
+// imbalanceOf returns Wmax/Wavg of the given loads.
+func imbalanceOf(loads []int64) float64 {
+	var total, max int64
+	for _, l := range loads {
+		total += l
+		if l > max {
+			max = l
+		}
+	}
+	if total == 0 {
+		return 1
+	}
+	return float64(max) * float64(len(loads)) / float64(total)
+}
+
+// phaseTimer measures per-phase simulated time: Lap returns the
+// max-over-ranks simulated seconds spent since the previous lap.
+type phaseTimer struct {
+	c    *msg.Comm
+	last float64
+}
+
+func newPhaseTimer(c *msg.Comm) *phaseTimer { return &phaseTimer{c: c, last: c.Elapsed()} }
+
+// Lap returns the global maximum of the per-rank elapsed simulated time
+// since the last lap, and synchronizes the ranks.
+func (t *phaseTimer) Lap() float64 {
+	local := t.c.Elapsed() - t.last
+	max := t.c.AllreduceFloat64(local, msg.MaxFloat64)
+	t.c.Barrier()
+	t.last = t.c.Elapsed()
+	return max
+}

@@ -1,0 +1,307 @@
+package core
+
+import (
+	"plum/internal/adapt"
+	"plum/internal/dual"
+	"plum/internal/mesh"
+	"plum/internal/msg"
+	"plum/internal/partition"
+	"plum/internal/pmesh"
+	"plum/internal/remap"
+)
+
+// Experiments bundles the fixed inputs of the paper's evaluation
+// (Section 5) so that cmd/plumbench, the benchmarks, and the tests all
+// regenerate the same tables and figures from one place.
+type Experiments struct {
+	Global *mesh.Mesh
+	Dual   *dual.Graph
+	Model  *msg.CostModel
+	Cfg    Config
+	LX, LY float64 // box extents (indicator geometry)
+	Cases  []CaseSpec
+	Ps     []int
+
+	initParts map[int][]int32 // cached initial partition per P
+}
+
+// CaseSpec names a refinement strategy: the fraction of the initial
+// mesh's edges targeted for subdivision (paper: Real_1 = 5%, Real_2 =
+// 33%, Real_3 = 60%).
+type CaseSpec struct {
+	Name string
+	Frac float64
+}
+
+// PaperCases returns the three strategies of the paper.
+func PaperCases() []CaseSpec {
+	return []CaseSpec{{"Real_1", 0.05}, {"Real_2", 0.33}, {"Real_3", 0.60}}
+}
+
+// NewExperiments builds the experiment harness.  paperScale selects the
+// 60,912-element mesh and processor counts up to 64 (several minutes of
+// compute); otherwise a ~4k-element mesh with processor counts up to 16
+// reproduces the same shapes quickly.
+func NewExperiments(paperScale bool) *Experiments {
+	e := &Experiments{
+		Model:     msg.SP2Model(),
+		Cfg:       DefaultConfig(),
+		Cases:     PaperCases(),
+		initParts: make(map[int][]int32),
+	}
+	if paperScale {
+		e.Global = mesh.PaperScaleBox()
+		e.LX, e.LY = 4.7, 1.8
+		e.Ps = []int{1, 2, 4, 8, 16, 32, 64}
+	} else {
+		e.Global = mesh.Box(12, 9, 6, 4.7, 1.8, 1.2)
+		e.LX, e.LY = 4.7, 1.8
+		e.Ps = []int{1, 2, 4, 8, 16}
+	}
+	e.Dual = dual.FromMesh(e.Global)
+	return e
+}
+
+// Indicator returns the shock-surface error indicator used by all
+// experiments: a cylinder through the domain mimicking the rotor-blade
+// shock system of the paper's acoustics test case.
+func (e *Experiments) Indicator() func(mesh.Vec3) float64 {
+	return adapt.ShockCylinderIndicator(
+		mesh.Vec3{e.LX / 2, e.LY / 2, 0}, mesh.Vec3{0, 0, 1},
+		0.39*e.LY, 0.19*e.LY)
+}
+
+// initialPartition returns (and caches) the initial P-way partition of
+// the dual graph — the "Partitioning + Mapping" initialization of Fig. 1.
+func (e *Experiments) initialPartition(p int) []int32 {
+	if part, ok := e.initParts[p]; ok {
+		return part
+	}
+	part := partition.Partition(e.Dual, p, e.Cfg.PartOpts)
+	e.initParts[p] = part
+	return part
+}
+
+// RunStep runs one full adaption cycle on p simulated processors and
+// returns the rank-0 statistics.
+func (e *Experiments) RunStep(p int, frac float64, before bool, mapper Mapper) StepStats {
+	initPart := e.initialPartition(p)
+	ind := e.Indicator()
+	var out StepStats
+	msg.RunModel(p, e.Model, func(c *msg.Comm) {
+		d := pmesh.New(c, e.Global, initPart, 0)
+		g := e.Dual.WithWeights(e.Dual.WComp, e.Dual.WRemap)
+		cfg := e.Cfg
+		cfg.RemapBefore = before
+		cfg.Mapper = mapper
+		if mapper == MapOptBMCM {
+			cfg.Metric = remap.MaxV
+		}
+		st := AdaptionStep(c, d, g, ind, frac, cfg)
+		if c.Rank() == 0 {
+			out = st
+		}
+	})
+	return out
+}
+
+// ---------------------------------------------------------------------
+// Table 1: grid sizes after one refinement for the three strategies.
+
+// Table1Row is one line of the paper's Table 1.
+type Table1Row struct {
+	Case                        string
+	Verts, Elems, Edges, BFaces int
+	Growth                      float64 // mesh growth factor G
+}
+
+// Table1 runs the three strategies serially and reports the resulting
+// grid sizes (plus the initial row).
+func (e *Experiments) Table1() []Table1Row {
+	rows := []Table1Row{{
+		Case:   "Initial",
+		Verts:  e.Global.NumVerts(),
+		Elems:  e.Global.NumElems(),
+		Edges:  e.Global.NumEdges(),
+		BFaces: e.Global.NumBFaces(),
+		Growth: 1,
+	}}
+	ind := e.Indicator()
+	for _, cs := range e.Cases {
+		a := adapt.FromMesh(e.Global, 0)
+		a.BuildEdgeElems()
+		errv := a.EdgeErrorGeometric(ind)
+		a.MarkTopFraction(errv, cs.Frac)
+		a.Propagate()
+		pred := a.PredictRefine()
+		a.Refine()
+		c := a.ActiveCounts()
+		rows = append(rows, Table1Row{
+			Case: cs.Name, Verts: c.Verts, Elems: c.Elems,
+			Edges: c.Edges, BFaces: c.BFaces, Growth: pred.GrowthFactor,
+		})
+	}
+	return rows
+}
+
+// ---------------------------------------------------------------------
+// Table 2: the three mappers compared on identical similarity matrices.
+
+// Table2Row compares the mappers for one processor count (paper's
+// Table 2, Real_2 strategy).
+type Table2Row struct {
+	P       int
+	MaxSent int64 // max elements sent by any processor (MWBG mappers)
+	Opt     MapperOutcome
+	Heu     MapperOutcome
+	Bmcm    MapperOutcome
+}
+
+// MapperOutcome is one mapper's data movement and reassignment time.
+type MapperOutcome struct {
+	TotalElems int64   // total remapping weight moved
+	MaxSent    int64   // bottleneck outgoing weight
+	Wall       float64 // reassignment wall-clock seconds
+}
+
+// Table2 runs the remap-before pipeline once per processor count on the
+// Real_2 strategy and applies all three mappers to the same similarity
+// matrix, exactly as the paper's comparison does.
+func (e *Experiments) Table2(frac float64) []Table2Row {
+	var rows []Table2Row
+	ind := e.Indicator()
+	for _, p := range e.Ps {
+		if p < 2 {
+			continue
+		}
+		initPart := e.initialPartition(p)
+		var row Table2Row
+		msg.RunModel(p, e.Model, func(c *msg.Comm) {
+			d := pmesh.New(c, e.Global, initPart, 0)
+			_, _ = d.MarkGeometricFraction(ind, frac)
+			d.PropagateParallel()
+			wc, wr := d.GatherPredictedWeights()
+			g := e.Dual.WithWeights(wc, wr)
+			pr := partition.ParallelRepartition(c, g, p, d.RootOwner, e.Cfg.PartOpts)
+			s := remap.BuildSimilarityDistributed(c, d.LocalRootIDs(), wr, pr.Part, 1)
+			if c.Rank() != 0 {
+				return
+			}
+			row.P = p
+			evalMapper := func(kind Mapper) MapperOutcome {
+				assign, wall := ApplyMapper(kind, s)
+				mc := remap.Cost(s, assign)
+				return MapperOutcome{TotalElems: mc.CTotal, MaxSent: mc.MaxSent, Wall: wall}
+			}
+			row.Opt = evalMapper(MapOptMWBG)
+			row.Heu = evalMapper(MapHeuristic)
+			row.Bmcm = evalMapper(MapOptBMCM)
+			row.MaxSent = row.Opt.MaxSent
+		})
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// ---------------------------------------------------------------------
+// Figure 2: the worked similarity-matrix example.
+
+// Fig2Result reports the three mappers on a 4x4 example matrix (the
+// scanned figure's exact entries are illegible; this reproduces the
+// structure and all qualitative relationships).
+type Fig2Result struct {
+	S                   *remap.Similarity
+	Assign              [3][]int32 // Opt MWBG, Heu MWBG, Opt BMCM
+	Costs               [3]remap.MoveCost
+	ObjectiveOpt        int64
+	ObjectiveHeu        int64
+	HeuristicBoundHolds bool
+}
+
+// Fig2 evaluates the worked example.
+func Fig2() Fig2Result {
+	s := remap.NewSimilarity(4, 1)
+	s.S[0] = []int64{100, 90, 0, 0}
+	s.S[1] = []int64{95, 0, 0, 0}
+	s.S[2] = []int64{0, 85, 120, 30}
+	s.S[3] = []int64{0, 0, 110, 25}
+	var r Fig2Result
+	r.S = s
+	for i, kind := range []Mapper{MapOptMWBG, MapHeuristic, MapOptBMCM} {
+		assign, _ := ApplyMapper(kind, s)
+		r.Assign[i] = assign
+		r.Costs[i] = remap.Cost(s, assign)
+	}
+	r.ObjectiveOpt = s.Objective(r.Assign[0])
+	r.ObjectiveHeu = s.Objective(r.Assign[1])
+	r.HeuristicBoundHolds = 2*r.ObjectiveHeu >= r.ObjectiveOpt
+	return r
+}
+
+// ---------------------------------------------------------------------
+// Figures 4, 5, 6, 8: the scaling studies.
+
+// ScalingRow holds one (case, P, ordering) measurement.
+type ScalingRow struct {
+	Case        string
+	P           int
+	RemapBefore bool
+	AdaptTime   float64 // mark + refine (Fig 4 numerator/denominator, Fig 6 "Adaption")
+	PartTime    float64 // Fig 6 "Partitioning"
+	RemapTime   float64 // Fig 5 / Fig 6 "Remapping"
+	Speedup     float64 // T_adapt(1) / T_adapt(P), same ordering
+	Improvement float64 // Fig 8: Wold_max / Wnew_max after refinement
+	Growth      float64 // realized growth factor
+}
+
+// Scaling runs the full sweep: every case, every processor count, both
+// remap orderings.  This single sweep supplies Figs. 4, 5, 6 and 8.
+func (e *Experiments) Scaling() []ScalingRow {
+	var rows []ScalingRow
+	for _, cs := range e.Cases {
+		for _, before := range []bool{false, true} {
+			var t1 float64
+			for _, p := range e.Ps {
+				st := e.RunStep(p, cs.Frac, before, MapHeuristic)
+				adaptTime := st.MarkTime + st.RefineTime
+				if p == 1 {
+					t1 = adaptTime
+				}
+				speedup := 1.0
+				if adaptTime > 0 && t1 > 0 {
+					speedup = t1 / adaptTime
+				}
+				growth := 1.0
+				if n := e.Global.NumElems(); n > 0 {
+					growth = float64(st.Counts.Elems) / float64(n)
+				}
+				rows = append(rows, ScalingRow{
+					Case: cs.Name, P: p, RemapBefore: before,
+					AdaptTime: adaptTime, PartTime: st.PartitionTime,
+					RemapTime: st.RemapTime, Speedup: speedup,
+					Improvement: st.SolverImprovement(), Growth: growth,
+				})
+			}
+		}
+	}
+	return rows
+}
+
+// Fig7Row is one curve point of the analytic load-balancing bound.
+type Fig7Row struct {
+	P           int
+	G           float64
+	Improvement float64
+}
+
+// Fig7 evaluates the analytic model for the paper's three growth
+// factors at the harness's processor counts.
+func (e *Experiments) Fig7() []Fig7Row {
+	var rows []Fig7Row
+	for _, g := range []float64{1.353, 3.310, 5.279} {
+		for _, p := range e.Ps {
+			rows = append(rows, Fig7Row{P: p, G: g, Improvement: MaxImprovement(p, g)})
+		}
+	}
+	return rows
+}

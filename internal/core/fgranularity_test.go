@@ -1,0 +1,52 @@
+package core
+
+import (
+	"testing"
+)
+
+// TestAdaptionStepWithF2 exercises the F > 1 path end to end: the
+// repartitioner produces P*F partitions, the similarity matrix has P*F
+// columns, and each processor receives exactly F partitions (paper
+// Section 4.3: "performing data mapping at a finer granularity reduces
+// the volume of data movement at the expense of partitioning and
+// processor reassignment times").
+func TestAdaptionStepWithF2(t *testing.T) {
+	e := NewExperiments(false)
+	e.Cfg.F = 2
+	st := e.RunStep(4, 0.33, true, MapHeuristic)
+	if !st.Accepted {
+		t.Fatal("forced accept did not remap")
+	}
+	if st.Counts.Elems <= e.Global.NumElems() {
+		t.Error("no refinement")
+	}
+	// Compare against F=1 on the same problem: results must both be
+	// valid; finer granularity should not increase the heaviest load.
+	e1 := NewExperiments(false)
+	st1 := e1.RunStep(4, 0.33, true, MapHeuristic)
+	if st.Counts != st1.Counts {
+		t.Errorf("F=2 counts %+v != F=1 counts %+v", st.Counts, st1.Counts)
+	}
+	if st.WNewMax > 2*st1.WNewMax {
+		t.Errorf("F=2 left heaviest load %d, F=1 %d", st.WNewMax, st1.WNewMax)
+	}
+}
+
+// TestAdaptionStepOptimalMappers runs the full cycle under the optimal
+// mappers too (the Table 2 comparators), checking they complete and
+// produce valid balanced results.
+func TestAdaptionStepOptimalMappers(t *testing.T) {
+	for _, mapper := range []Mapper{MapOptMWBG, MapOptBMCM} {
+		e := NewExperiments(false)
+		st := e.RunStep(4, 0.33, true, mapper)
+		if !st.Accepted {
+			t.Errorf("%v: not accepted", mapper)
+		}
+		if st.SolverImprovement() < 1 {
+			t.Errorf("%v: balancing made things worse (%v)", mapper, st.SolverImprovement())
+		}
+		if st.ReassignWall <= 0 {
+			t.Errorf("%v: no reassignment time measured", mapper)
+		}
+	}
+}

@@ -1,0 +1,179 @@
+package core
+
+import (
+	"plum/internal/adapt"
+	"plum/internal/dual"
+	"plum/internal/mesh"
+	"plum/internal/msg"
+	"plum/internal/partition"
+	"plum/internal/pmesh"
+	"plum/internal/remap"
+)
+
+// StepStats reports one adaption cycle.  Times are simulated seconds,
+// already reduced to the maximum over ranks (identical on every rank).
+type StepStats struct {
+	MarkTime      float64 // edge targeting + parallel propagation
+	PartitionTime float64 // parallel repartitioning
+	ReassignTime  float64 // similarity matrix + mapper + broadcast (simulated)
+	RemapTime     float64 // data migration
+	RefineTime    float64 // subdivision (plus re-marking when remapping first)
+	ReassignWall  float64 // wall-clock seconds of the mapper on the host
+
+	Rounds    int  // marking propagation rounds
+	Balanced  bool // evaluation step found the mesh balanced (no repartition)
+	Accepted  bool // new partitioning adopted
+	Imbalance float64
+
+	WOldMax, WNewMax int64 // heaviest-rank post-refinement loads, old/new owners
+
+	Moved  remap.MoveCost
+	Mig    pmesh.MigrateStats
+	Refine adapt.RefineStats
+
+	Counts adapt.Counts // global mesh after the step
+}
+
+// AdaptionStep executes one full cycle of the paper's Fig. 1 on the
+// calling rank: edge marking, the load-balancer evaluation, parallel
+// repartitioning, processor reassignment, the gain/cost decision, data
+// remapping, and mesh refinement.  With cfg.RemapBefore the data moves
+// between the marking and subdivision phases (Section 4.6); otherwise
+// the mesh is refined first and the larger refined mesh is moved.
+// Collective: every rank calls with identical arguments; g must be a
+// per-rank weight view (dual.Graph.WithWeights) of the replicated dual
+// graph.
+func AdaptionStep(c *msg.Comm, d *pmesh.DistMesh, g *dual.Graph,
+	ind func(mesh.Vec3) float64, frac float64, cfg Config) StepStats {
+
+	if cfg.ImbalanceThreshold == 0 {
+		cfg.ImbalanceThreshold = 1.10
+	}
+	var st StepStats
+	timer := newPhaseTimer(c)
+
+	// --- Mark: target edges and propagate to a global fixpoint.
+	d.MarkGeometricFraction(ind, frac)
+	st.Rounds = d.PropagateParallel()
+	st.MarkTime = timer.Lap()
+
+	if !cfg.RemapBefore {
+		// Remap-after ordering: subdivide on the old partitions first.
+		st.Refine = d.Refine()
+		st.RefineTime = timer.Lap()
+	}
+
+	// --- Weights for the balancer.  Remap-before uses the predicted
+	// post-refinement Wcomp with the pre-refinement Wremap; remap-after
+	// uses the actual weights of the already-refined mesh.
+	var wc, wr []int64
+	if cfg.RemapBefore {
+		wc, wr = d.GatherPredictedWeights()
+	} else {
+		wc, wr = d.GatherWeights()
+	}
+	oldLoads := rankLoads(wc, d.RootOwner, c.Size())
+	st.WOldMax = maxLoad(oldLoads)
+	st.Imbalance = imbalanceOf(oldLoads)
+
+	// --- Evaluation step ("determines if the new mesh will be so
+	// unbalanced as to warrant a repartitioning").
+	if st.Imbalance <= cfg.ImbalanceThreshold && !cfg.ForceAccept {
+		st.Balanced = true
+		st.WNewMax = st.WOldMax
+		if cfg.RemapBefore {
+			st.Refine = d.Refine()
+			st.RefineTime = timer.Lap()
+		}
+		st.Counts = d.GlobalCounts()
+		return st
+	}
+
+	// --- Parallel repartitioning on the dual graph.
+	g.SetWeights(wc, wr)
+	pr := partition.ParallelRepartition(c, g, c.Size()*cfg.F, d.RootOwner, cfg.PartOpts)
+	newPart := pr.Part
+	st.PartitionTime = timer.Lap()
+
+	// --- Processor reassignment: similarity matrix rows computed in
+	// parallel, gathered at the host, mapped, scattered back.
+	s := remap.BuildSimilarityDistributed(c, d.LocalRootIDs(), wr, newPart, cfg.F)
+	var assign []int32
+	if c.Rank() == 0 {
+		assign, st.ReassignWall = ApplyMapper(cfg.Mapper, s)
+		c.Compute(mapperWork(cfg.Mapper, c.Size(), cfg.F))
+		st.Moved = remap.Cost(s, assign)
+	}
+	assign = remap.BroadcastAssignment(c, assign)
+	newOwner := make([]int32, len(newPart))
+	for r, np := range newPart {
+		newOwner[r] = assign[np]
+	}
+	newLoads := rankLoads(wc, newOwner, c.Size())
+	st.WNewMax = maxLoad(newLoads)
+	st.ReassignTime = timer.Lap()
+
+	// --- Gain vs. redistribution cost (Section 4.5/4.6).  The decision
+	// is made on the host (which holds the similarity matrix) and
+	// broadcast, so every rank takes the same branch.
+	var acceptFlag int64
+	if c.Rank() == 0 {
+		gain := remap.ComputationalGain(cfg.Machine, cfg.NAdapt, st.WOldMax, st.WNewMax, 0)
+		cost := remap.RedistributionCost(cfg.Metric, st.Moved, cfg.Machine)
+		if cfg.ForceAccept || remap.Accept(gain, cost) {
+			acceptFlag = 1
+		}
+	}
+	st.Accepted = c.BcastInts(0, []int64{acceptFlag})[0] == 1
+
+	// --- Remapping: physically move the element families.  In the
+	// remap-before ordering the edge marks travel with the families, so
+	// the migrated mesh arrives ready for subdivision.
+	if st.Accepted {
+		mig := d.Migrate(newOwner)
+		// Aggregate the per-rank statistics so every rank reports the
+		// global movement.
+		st.Mig.FamiliesSent = int(c.AllreduceInt64(int64(mig.FamiliesSent), msg.SumInt64))
+		st.Mig.ElemsSent = int(c.AllreduceInt64(int64(mig.ElemsSent), msg.SumInt64))
+		st.Mig.BytesSent = c.AllreduceInt64(mig.BytesSent, msg.SumInt64)
+		st.Mig.MsgsSent = int(c.AllreduceInt64(int64(mig.MsgsSent), msg.SumInt64))
+		st.Mig.FamiliesRecv = st.Mig.FamiliesSent
+		st.Mig.ElemsRecv = st.Mig.ElemsSent
+	}
+	st.RemapTime = timer.Lap()
+
+	// --- Subdivision (remap-before ordering): the marks moved with the
+	// data, so the subdivision runs immediately — and load balanced,
+	// since the new partitions equalize the predicted post-refinement
+	// loads.
+	if cfg.RemapBefore {
+		st.Refine = d.Refine()
+		st.RefineTime = timer.Lap()
+	}
+
+	st.Counts = d.GlobalCounts()
+	return st
+}
+
+// SolverImprovement returns the factor by which load balancing reduces
+// the flow-solver time for the refined mesh: the heaviest-rank load
+// without rebalancing divided by the heaviest-rank load with it (the
+// quantity plotted in the paper's Fig. 8).
+func (st StepStats) SolverImprovement() float64 {
+	if st.WNewMax == 0 {
+		return 1
+	}
+	return float64(st.WOldMax) / float64(st.WNewMax)
+}
+
+// MaxImprovement is the analytic bound of the paper's Fig. 7: for mesh
+// growth factor G on P processors, a single refinement step can at most
+// improve solver time by min(8, P(G-1)+1)/G (8 is the maximum
+// subdivision arity; see Section 5).
+func MaxImprovement(p int, g float64) float64 {
+	worst := float64(p)*(g-1) + 1
+	if worst > 8 {
+		worst = 8
+	}
+	return worst / g
+}

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"plum/internal/adapt"
+	"plum/internal/dual"
+	"plum/internal/mesh"
+	"plum/internal/msg"
+	"plum/internal/pmesh"
+	"plum/internal/solver"
+)
+
+// Unsteady drives the paper's target application pattern: a feature
+// (shock, vortex) moves through the domain over many time steps, and
+// every NAdapt solver iterations the framework re-adapts and rebalances
+// around the feature's new position (the outer loop of Fig. 1).  This
+// is the public API the examples and downstream users build on;
+// AdaptionStep remains available for single-cycle control.
+type Unsteady struct {
+	D   *pmesh.DistMesh
+	PS  *solver.PSolver
+	G   *dual.Graph // replicated dual graph (weights owned per rank)
+	Cfg Config
+
+	// Indicator returns the error-indicator function for cycle number
+	// i (the moving feature).
+	Indicator func(i int) func(mesh.Vec3) float64
+	// Frac is the fraction of edges targeted for refinement per cycle.
+	Frac float64
+	// CoarsenBelow, when > 0, coarsens edges whose indicator value for
+	// the *new* position falls below this threshold before refining —
+	// releasing resolution the feature has left behind.
+	CoarsenBelow float64
+	// DT is the solver pseudo-time step.
+	DT float64
+
+	cycle int
+}
+
+// CycleStats extends the adaption statistics with solver accounting.
+type CycleStats struct {
+	Step        StepStats
+	Coarsen     adapt.CoarsenStats
+	SolverWork  int     // this rank's edge-flux evaluations
+	WorkBalance float64 // sum(work)/(P*max(work)); 1.0 = perfect
+	Mass        float64 // conservation diagnostic
+}
+
+// NewUnsteady wires the driver over an existing distributed mesh with
+// the solver attached.  Collective.
+func NewUnsteady(d *pmesh.DistMesh, g *dual.Graph, cfg Config) *Unsteady {
+	u := &Unsteady{D: d, G: g, Cfg: cfg, Frac: 0.1, DT: 0.002}
+	u.PS = solver.NewParallel(d)
+	return u
+}
+
+// Cycle runs one adapt-balance-solve cycle and returns its statistics.
+// Collective.
+func (u *Unsteady) Cycle() CycleStats {
+	var cs CycleStats
+	ind := u.Indicator(u.cycle)
+	c := u.D.C
+
+	if u.CoarsenBelow > 0 && u.cycle > 0 {
+		cs.Coarsen = u.D.ParallelCoarsen(ind, u.CoarsenBelow)
+	}
+	gv := u.G.WithWeights(u.G.WComp, u.G.WRemap)
+	cs.Step = AdaptionStep(c, u.D, gv, ind, u.Frac, u.Cfg)
+	u.PS.Rebuild()
+
+	n := u.Cfg.NAdapt
+	if n <= 0 {
+		n = 1
+	}
+	for it := 0; it < n; it++ {
+		cs.SolverWork += u.PS.Step(u.DT)
+	}
+	maxW := c.AllreduceInt64(int64(cs.SolverWork), msg.MaxInt64)
+	sumW := c.AllreduceInt64(int64(cs.SolverWork), msg.SumInt64)
+	if maxW > 0 {
+		cs.WorkBalance = float64(sumW) / (float64(c.Size()) * float64(maxW))
+	}
+	cs.Mass = u.PS.GlobalMass()
+	u.cycle++
+	return cs
+}
+
+// CycleNumber returns how many cycles have completed.
+func (u *Unsteady) CycleNumber() int { return u.cycle }

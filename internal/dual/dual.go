@@ -1,0 +1,273 @@
+// Package dual builds and manipulates the dual graph of the initial
+// computational mesh, the key representation of the PLUM load balancer
+// (paper Section 4.1): the tetrahedral elements of the initial mesh are
+// the graph vertices, and an edge connects two graph vertices when the
+// corresponding elements share a face.
+//
+// Each dual vertex carries two weights.  Wcomp — the number of leaf
+// elements in the corresponding refinement tree — is the flow-solver
+// workload and drives partitioning balance.  Wremap — the total number of
+// elements in the tree — is the cost of migrating the element, since all
+// descendants move with their root.  Because partitioning always operates
+// on this fixed graph, "the repartitioning time depends only on the
+// initial problem size and the number of partitions, but not on the size
+// of the adapted mesh."
+package dual
+
+import (
+	"fmt"
+
+	"plum/internal/mesh"
+)
+
+// Graph is an undirected vertex- and edge-weighted graph in CSR form.
+type Graph struct {
+	Xadj   []int32 // offsets into Adjncy, len n+1
+	Adjncy []int32 // concatenated neighbour lists
+	AdjWgt []int64 // edge weights, parallel to Adjncy
+	WComp  []int64 // computational weight per vertex
+	WRemap []int64 // remapping weight per vertex
+}
+
+// NumVerts returns the number of graph vertices.
+func (g *Graph) NumVerts() int { return len(g.Xadj) - 1 }
+
+// NumEdges returns the number of undirected edges.
+func (g *Graph) NumEdges() int { return len(g.Adjncy) / 2 }
+
+// Degree returns the degree of vertex v.
+func (g *Graph) Degree(v int32) int { return int(g.Xadj[v+1] - g.Xadj[v]) }
+
+// Neighbors returns the adjacency slice of vertex v (do not modify).
+func (g *Graph) Neighbors(v int32) []int32 { return g.Adjncy[g.Xadj[v]:g.Xadj[v+1]] }
+
+// EdgeWeights returns the edge-weight slice of vertex v, parallel to
+// Neighbors(v).
+func (g *Graph) EdgeWeights(v int32) []int64 { return g.AdjWgt[g.Xadj[v]:g.Xadj[v+1]] }
+
+// TotalWComp returns the sum of computational weights.
+func (g *Graph) TotalWComp() int64 {
+	var t int64
+	for _, w := range g.WComp {
+		t += w
+	}
+	return t
+}
+
+// FromMesh builds the dual graph of a mesh via its face adjacency, with
+// unit vertex and edge weights.
+func FromMesh(m *mesh.Mesh) *Graph {
+	adj := m.FaceAdjacency()
+	n := len(adj)
+	g := &Graph{
+		Xadj:   make([]int32, n+1),
+		WComp:  make([]int64, n),
+		WRemap: make([]int64, n),
+	}
+	for v := 0; v < n; v++ {
+		for _, nb := range adj[v] {
+			if nb >= 0 {
+				g.Xadj[v+1]++
+			}
+		}
+	}
+	for v := 0; v < n; v++ {
+		g.Xadj[v+1] += g.Xadj[v]
+	}
+	g.Adjncy = make([]int32, g.Xadj[n])
+	g.AdjWgt = make([]int64, g.Xadj[n])
+	pos := make([]int32, n)
+	copy(pos, g.Xadj[:n])
+	for v := 0; v < n; v++ {
+		g.WComp[v] = 1
+		g.WRemap[v] = 1
+		for _, nb := range adj[v] {
+			if nb >= 0 {
+				g.Adjncy[pos[v]] = nb
+				g.AdjWgt[pos[v]] = 1
+				pos[v]++
+			}
+		}
+	}
+	return g
+}
+
+// SetWeights installs new per-root weights (from adapt.Mesh.RootWeights
+// or a refinement prediction).  Slices must have NumVerts entries.
+func (g *Graph) SetWeights(wcomp, wremap []int64) {
+	if len(wcomp) != g.NumVerts() || len(wremap) != g.NumVerts() {
+		panic(fmt.Sprintf("dual: weight lengths (%d,%d) != vertices %d", len(wcomp), len(wremap), g.NumVerts()))
+	}
+	copy(g.WComp, wcomp)
+	copy(g.WRemap, wremap)
+}
+
+// WithWeights returns a view of g sharing its (immutable) topology but
+// carrying its own weight arrays.  The PLUM drivers replicate one dual
+// graph across ranks; per-rank weight views keep SetWeights race-free.
+func (g *Graph) WithWeights(wcomp, wremap []int64) *Graph {
+	ng := &Graph{Xadj: g.Xadj, Adjncy: g.Adjncy, AdjWgt: g.AdjWgt,
+		WComp: make([]int64, g.NumVerts()), WRemap: make([]int64, g.NumVerts())}
+	ng.SetWeights(wcomp, wremap)
+	return ng
+}
+
+// Check validates CSR structure: symmetric adjacency with matching
+// weights and no self-loops.
+func (g *Graph) Check() error {
+	n := g.NumVerts()
+	if len(g.Adjncy) != len(g.AdjWgt) {
+		return fmt.Errorf("dual: adjncy/adjwgt length mismatch")
+	}
+	for v := int32(0); v < int32(n); v++ {
+		nbs := g.Neighbors(v)
+		wts := g.EdgeWeights(v)
+		for i, u := range nbs {
+			if u == v {
+				return fmt.Errorf("dual: self loop at %d", v)
+			}
+			if u < 0 || int(u) >= n {
+				return fmt.Errorf("dual: vertex %d has out-of-range neighbour %d", v, u)
+			}
+			// find reverse edge
+			found := false
+			back := g.Neighbors(u)
+			bwts := g.EdgeWeights(u)
+			for j, w := range back {
+				if w == v {
+					if bwts[j] != wts[i] {
+						return fmt.Errorf("dual: asymmetric edge weight %d-%d", v, u)
+					}
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("dual: edge %d->%d has no reverse", v, u)
+			}
+		}
+	}
+	return nil
+}
+
+// Agglomerate groups vertices into clusters of roughly the given size
+// (breadth-first, contiguous) and returns the coarse graph together with
+// the fine-to-coarse map.  The paper suggests this for "extremely large
+// initial meshes [where] the partitioning time will be excessive":
+// superelements keep the dual graph tractable.
+func Agglomerate(g *Graph, size int) (*Graph, []int32) {
+	if size <= 1 {
+		cmap := make([]int32, g.NumVerts())
+		for i := range cmap {
+			cmap[i] = int32(i)
+		}
+		return g, cmap
+	}
+	n := g.NumVerts()
+	cmap := make([]int32, n)
+	for i := range cmap {
+		cmap[i] = -1
+	}
+	var nc int32
+	queue := make([]int32, 0, size)
+	for start := int32(0); start < int32(n); start++ {
+		if cmap[start] >= 0 {
+			continue
+		}
+		// Grow a cluster by BFS from start.
+		queue = queue[:0]
+		queue = append(queue, start)
+		cmap[start] = nc
+		count := 1
+		for qi := 0; qi < len(queue) && count < size; qi++ {
+			for _, nb := range g.Neighbors(queue[qi]) {
+				if cmap[nb] < 0 {
+					cmap[nb] = nc
+					queue = append(queue, nb)
+					count++
+					if count >= size {
+						break
+					}
+				}
+			}
+		}
+		nc++
+	}
+	return contract(g, cmap, int(nc)), cmap
+}
+
+// Contract builds the coarse graph induced by cmap (nc coarse vertices),
+// summing vertex weights and parallel edge weights and dropping
+// self-loops.  Used both by Agglomerate and by the multilevel
+// partitioner's coarsening phase.
+func Contract(g *Graph, cmap []int32, nc int) *Graph { return contract(g, cmap, nc) }
+
+// contract implements Contract.
+func contract(g *Graph, cmap []int32, nc int) *Graph {
+	cg := &Graph{
+		Xadj:   make([]int32, nc+1),
+		WComp:  make([]int64, nc),
+		WRemap: make([]int64, nc),
+	}
+	type edge struct {
+		u, v int32
+	}
+	wmap := make(map[edge]int64)
+	for v := int32(0); v < int32(len(cmap)); v++ {
+		cv := cmap[v]
+		cg.WComp[cv] += g.WComp[v]
+		cg.WRemap[cv] += g.WRemap[v]
+		nbs := g.Neighbors(v)
+		wts := g.EdgeWeights(v)
+		for i, u := range nbs {
+			cu := cmap[u]
+			if cu == cv {
+				continue
+			}
+			wmap[edge{cv, cu}] += wts[i]
+		}
+	}
+	// Build CSR from the map deterministically.
+	deg := make([]int32, nc)
+	for e := range wmap {
+		deg[e.u]++
+	}
+	for c := 0; c < nc; c++ {
+		cg.Xadj[c+1] = cg.Xadj[c] + deg[c]
+	}
+	cg.Adjncy = make([]int32, cg.Xadj[nc])
+	cg.AdjWgt = make([]int64, cg.Xadj[nc])
+	pos := make([]int32, nc)
+	copy(pos, cg.Xadj[:nc])
+	// Deterministic: iterate fine vertices in order, insert first
+	// occurrence of each coarse edge.
+	seen := make(map[edge]bool, len(wmap))
+	for v := int32(0); v < int32(len(cmap)); v++ {
+		cv := cmap[v]
+		for _, u := range g.Neighbors(v) {
+			cu := cmap[u]
+			if cu == cv {
+				continue
+			}
+			e := edge{cv, cu}
+			if seen[e] {
+				continue
+			}
+			seen[e] = true
+			cg.Adjncy[pos[cv]] = cu
+			cg.AdjWgt[pos[cv]] = wmap[e]
+			pos[cv]++
+		}
+	}
+	return cg
+}
+
+// ProjectPartition maps a coarse partition back to fine vertices through
+// cmap.
+func ProjectPartition(cpart []int32, cmap []int32) []int32 {
+	part := make([]int32, len(cmap))
+	for v, cv := range cmap {
+		part[v] = cpart[cv]
+	}
+	return part
+}

@@ -1,0 +1,160 @@
+package dual
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"plum/internal/mesh"
+)
+
+func boxGraph(nx, ny, nz int) *Graph {
+	return FromMesh(mesh.Box(nx, ny, nz, 1, 1, 1))
+}
+
+func TestFromMeshStructure(t *testing.T) {
+	m := mesh.Box(2, 2, 2, 1, 1, 1)
+	g := FromMesh(m)
+	if g.NumVerts() != m.NumElems() {
+		t.Fatalf("dual has %d vertices, want %d", g.NumVerts(), m.NumElems())
+	}
+	if err := g.Check(); err != nil {
+		t.Fatal(err)
+	}
+	// Every tet has at most 4 face neighbours.
+	for v := int32(0); v < int32(g.NumVerts()); v++ {
+		if g.Degree(v) > 4 {
+			t.Fatalf("vertex %d has degree %d > 4", v, g.Degree(v))
+		}
+	}
+	// Face accounting: 2*dualEdges + boundaryFaces = 4*elems.
+	if 2*g.NumEdges()+m.NumBFaces() != 4*m.NumElems() {
+		t.Errorf("face accounting: 2*%d + %d != 4*%d", g.NumEdges(), m.NumBFaces(), m.NumElems())
+	}
+}
+
+func TestUnitWeights(t *testing.T) {
+	g := boxGraph(2, 1, 1)
+	if g.TotalWComp() != int64(g.NumVerts()) {
+		t.Errorf("initial total wcomp %d, want %d", g.TotalWComp(), g.NumVerts())
+	}
+}
+
+func TestSetWeights(t *testing.T) {
+	g := boxGraph(1, 1, 1)
+	wc := make([]int64, g.NumVerts())
+	wr := make([]int64, g.NumVerts())
+	for i := range wc {
+		wc[i] = int64(i + 1)
+		wr[i] = int64(2 * (i + 1))
+	}
+	g.SetWeights(wc, wr)
+	if g.WComp[3] != 4 || g.WRemap[3] != 8 {
+		t.Errorf("weights not installed: %v %v", g.WComp[3], g.WRemap[3])
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("SetWeights accepted wrong length")
+		}
+	}()
+	g.SetWeights(wc[:2], wr[:2])
+}
+
+func TestAgglomerate(t *testing.T) {
+	g := boxGraph(3, 3, 3)
+	for _, size := range []int{2, 4, 8} {
+		cg, cmap := Agglomerate(g, size)
+		if err := cg.Check(); err != nil {
+			t.Fatalf("size %d: %v", size, err)
+		}
+		// Weight conservation.
+		var cw int64
+		for _, w := range cg.WComp {
+			cw += w
+		}
+		if cw != g.TotalWComp() {
+			t.Errorf("size %d: weight %d != %d", size, cw, g.TotalWComp())
+		}
+		// cmap covers all coarse ids.
+		seen := make(map[int32]bool)
+		for _, c := range cmap {
+			if c < 0 || int(c) >= cg.NumVerts() {
+				t.Fatalf("cmap entry %d out of range", c)
+			}
+			seen[c] = true
+		}
+		if len(seen) != cg.NumVerts() {
+			t.Errorf("size %d: %d coarse ids used of %d", size, len(seen), cg.NumVerts())
+		}
+		// Compression actually happened.
+		if cg.NumVerts() >= g.NumVerts() {
+			t.Errorf("size %d: no compression (%d -> %d)", size, g.NumVerts(), cg.NumVerts())
+		}
+	}
+}
+
+func TestAgglomerateSizeOneIsIdentity(t *testing.T) {
+	g := boxGraph(2, 2, 1)
+	cg, cmap := Agglomerate(g, 1)
+	if cg != g {
+		t.Error("size-1 agglomeration should return the same graph")
+	}
+	for i, c := range cmap {
+		if c != int32(i) {
+			t.Fatal("size-1 cmap not identity")
+		}
+	}
+}
+
+func TestProjectPartition(t *testing.T) {
+	g := boxGraph(2, 2, 2)
+	cg, cmap := Agglomerate(g, 6)
+	cpart := make([]int32, cg.NumVerts())
+	for i := range cpart {
+		cpart[i] = int32(i % 3)
+	}
+	part := ProjectPartition(cpart, cmap)
+	for v := range part {
+		if part[v] != cpart[cmap[v]] {
+			t.Fatalf("vertex %d projected wrongly", v)
+		}
+	}
+}
+
+func TestContractPreservesCutProperty(t *testing.T) {
+	// Property: contracting and summing edge weights preserves the total
+	// weight of edges crossing any cluster boundary.
+	prop := func(seed uint8) bool {
+		g := boxGraph(2, 2, 2)
+		size := 2 + int(seed%6)
+		cg, cmap := Agglomerate(g, size)
+		// Total cross-cluster fine edge weight.
+		var fine int64
+		for v := int32(0); v < int32(g.NumVerts()); v++ {
+			wts := g.EdgeWeights(v)
+			for i, u := range g.Neighbors(v) {
+				if cmap[v] != cmap[u] {
+					fine += wts[i]
+				}
+			}
+		}
+		var coarse int64
+		for _, w := range cg.AdjWgt {
+			coarse += w
+		}
+		return fine == coarse
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 10, Rand: rand.New(rand.NewSource(6))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCheckCatchesAsymmetry(t *testing.T) {
+	g := boxGraph(1, 1, 1)
+	if len(g.AdjWgt) > 0 {
+		g.AdjWgt[0] = 42 // breaks symmetry with the reverse edge
+		if err := g.Check(); err == nil {
+			t.Error("Check accepted asymmetric weights")
+		}
+	}
+}

@@ -1,0 +1,48 @@
+package msg
+
+// CostModel parameterizes the simulated machine.  The values are abstract
+// seconds; the defaults below are loosely calibrated to the IBM SP2 era
+// hardware of the paper (Section 4.5 introduces Tlat, the per-word
+// memory-to-memory copy time, and Tsetup, the per-message startup time).
+//
+// The simulated clock exists because the reproduction runs P logical ranks
+// as goroutines on a host with far fewer physical cores: wall-clock scaling
+// curves would reflect the host, not the algorithm.  Under the model each
+// rank's clock advances by its own compute work and by communication
+// costs, and the curves recover the *shape* of the paper's figures.
+type CostModel struct {
+	TSetup   float64 // per-message startup cost, paid by the sender
+	TByte    float64 // per-byte injection/copy cost
+	TLatency float64 // wire latency between send completion and arrival
+	TWork    float64 // seconds per abstract compute work unit
+}
+
+// SP2Model returns cost parameters loosely calibrated to the paper's IBM
+// SP2: ~40 microsecond message startup, ~35 MB/s sustained bandwidth,
+// and a per-element compute unit chosen so that the ~61k-element mesh
+// refinement matches the order of magnitude of the paper's Fig. 6 times.
+func SP2Model() *CostModel {
+	return &CostModel{
+		TSetup:   40e-6,
+		TByte:    1.0 / 35e6,
+		TLatency: 40e-6,
+		TWork:    1.8e-6,
+	}
+}
+
+// Clock is one rank's simulated time.
+type Clock struct {
+	Now float64 // simulated seconds since Run started
+}
+
+// MaxTime returns the largest value in times (the parallel makespan), or 0
+// for an empty slice.
+func MaxTime(times []float64) float64 {
+	var max float64
+	for _, t := range times {
+		if t > max {
+			max = t
+		}
+	}
+	return max
+}

@@ -1,0 +1,264 @@
+package msg
+
+// Collective operations.  Every rank in the world must call each
+// collective in the same order; a per-rank sequence number synthesizes a
+// private tag so that back-to-back collectives and user point-to-point
+// traffic cannot interleave incorrectly.
+//
+// Broadcast and reduce use binomial trees (log P rounds, as a real MPI
+// implementation would, which matters for the simulated timing model);
+// gather/scatter are rooted linear exchanges, matching the paper's
+// description of the similarity-matrix gather ("these gather and scatter
+// operations require a minuscule amount of time since only one row of the
+// matrix needs to be communicated to the host processor").
+
+func (c *Comm) nextCollTag() int {
+	t := collectiveTagBase + c.collSeq
+	c.collSeq++
+	return t
+}
+
+// Barrier blocks until every rank has entered it.  Implemented as a
+// reduce-to-zero followed by a broadcast.
+func (c *Comm) Barrier() {
+	tag := c.nextCollTag()
+	if c.rank == 0 {
+		for src := 1; src < c.Size(); src++ {
+			c.Recv(src, tag)
+		}
+		for dst := 1; dst < c.Size(); dst++ {
+			c.Send(dst, tag, nil)
+		}
+	} else {
+		c.Send(0, tag, nil)
+		c.Recv(0, tag)
+	}
+	// A barrier synchronizes simulated clocks too: no rank may proceed
+	// before the slowest participant under the machine model.
+	// (Implemented by the message waits above; the root's replies carry
+	// its post-gather clock.)
+}
+
+// Bcast broadcasts data from root to all ranks using a binomial tree and
+// returns the received (or original, on root) payload.
+func (c *Comm) Bcast(root int, data []byte) []byte {
+	tag := c.nextCollTag()
+	size := c.Size()
+	// Relative rank so any root works with the same tree shape.
+	rel := (c.rank - root + size) % size
+	if rel != 0 {
+		// Receive from parent: clear the lowest set bit of rel.
+		parent := (rel&(rel-1) + root) % size
+		data = c.Recv(parent, tag).Data
+	}
+	// Forward to children: set successively higher bits.
+	for bit := 1; bit < size; bit <<= 1 {
+		if rel&bit != 0 {
+			break // this rank is a leaf at and above this level
+		}
+		child := rel | bit
+		if child < size {
+			c.Send((child+root)%size, tag, data)
+		}
+	}
+	return data
+}
+
+// Gather collects each rank's payload at root.  On root the returned slice
+// has Size() entries indexed by rank; on other ranks it is nil.
+func (c *Comm) Gather(root int, data []byte) [][]byte {
+	tag := c.nextCollTag()
+	if c.rank != root {
+		c.Send(root, tag, data)
+		return nil
+	}
+	out := make([][]byte, c.Size())
+	out[root] = append([]byte(nil), data...)
+	for src := 0; src < c.Size(); src++ {
+		if src == root {
+			continue
+		}
+		out[src] = c.Recv(src, tag).Data
+	}
+	return out
+}
+
+// Scatter distributes parts[i] from root to rank i and returns this rank's
+// part.  parts is only examined on root.
+func (c *Comm) Scatter(root int, parts [][]byte) []byte {
+	tag := c.nextCollTag()
+	if c.rank == root {
+		for dst := 0; dst < c.Size(); dst++ {
+			if dst == root {
+				continue
+			}
+			c.Send(dst, tag, parts[dst])
+		}
+		return append([]byte(nil), parts[root]...)
+	}
+	return c.Recv(root, tag).Data
+}
+
+// Allgather collects every rank's payload on every rank.
+func (c *Comm) Allgather(data []byte) [][]byte {
+	parts := c.Gather(0, data)
+	if c.rank == 0 {
+		flat, lens := flatten(parts)
+		// Root already has parts; the broadcasts reconstruct them on the
+		// other ranks.
+		c.Bcast(0, flat)
+		c.BcastInts(0, lens)
+		return parts
+	}
+	flat := c.Bcast(0, nil)
+	lens := c.BcastInts(0, nil)
+	return unflatten(flat, lens)
+}
+
+// BcastInts broadcasts an int64 slice from root.
+func (c *Comm) BcastInts(root int, vals []int64) []int64 {
+	if c.rank == root {
+		c.Bcast(root, PutInts(vals))
+		return vals
+	}
+	return GetInts(c.Bcast(root, nil))
+}
+
+// BcastFloats broadcasts a float64 slice from root.
+func (c *Comm) BcastFloats(root int, vals []float64) []float64 {
+	if c.rank == root {
+		c.Bcast(root, PutFloats(vals))
+		return vals
+	}
+	return GetFloats(c.Bcast(root, nil))
+}
+
+func flatten(parts [][]byte) (flat []byte, lens []int64) {
+	lens = make([]int64, len(parts))
+	total := 0
+	for i, p := range parts {
+		lens[i] = int64(len(p))
+		total += len(p)
+	}
+	flat = make([]byte, 0, total)
+	for _, p := range parts {
+		flat = append(flat, p...)
+	}
+	return flat, lens
+}
+
+func unflatten(flat []byte, lens []int64) [][]byte {
+	parts := make([][]byte, len(lens))
+	off := 0
+	for i, n := range lens {
+		parts[i] = flat[off : off+int(n)]
+		off += int(n)
+	}
+	return parts
+}
+
+// ReduceInt64 combines each rank's value at root with op (applied in rank
+// order, so non-commutative ops are still deterministic).  Only root's
+// return value is meaningful.
+func (c *Comm) ReduceInt64(root int, val int64, op func(a, b int64) int64) int64 {
+	parts := c.Gather(root, PutInts([]int64{val}))
+	if c.rank != root {
+		return 0
+	}
+	acc := GetInts(parts[0])[0]
+	for i := 1; i < len(parts); i++ {
+		acc = op(acc, GetInts(parts[i])[0])
+	}
+	return acc
+}
+
+// AllreduceInt64 is ReduceInt64 followed by a broadcast of the result.
+func (c *Comm) AllreduceInt64(val int64, op func(a, b int64) int64) int64 {
+	r := c.ReduceInt64(0, val, op)
+	return c.BcastInts(0, []int64{r})[0]
+}
+
+// AllreduceFloat64 combines each rank's float64 on every rank.
+func (c *Comm) AllreduceFloat64(val float64, op func(a, b float64) float64) float64 {
+	parts := c.Gather(0, PutFloats([]float64{val}))
+	var acc float64
+	if c.rank == 0 {
+		acc = GetFloats(parts[0])[0]
+		for i := 1; i < len(parts); i++ {
+			acc = op(acc, GetFloats(parts[i])[0])
+		}
+	}
+	return c.BcastFloats(0, []float64{acc})[0]
+}
+
+// MaxInt64 and SumInt64 are common reduce operators.
+func MaxInt64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// SumInt64 returns a+b; provided for use with the reduce collectives.
+func SumInt64(a, b int64) int64 { return a + b }
+
+// MaxFloat64 returns the larger of a and b.
+func MaxFloat64(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// SumFloat64 returns a+b; provided for use with the reduce collectives.
+func SumFloat64(a, b float64) float64 { return a + b }
+
+// ReduceIntsSum element-wise sums equal-length int64 vectors at root
+// over a binomial tree (log P rounds — the host never touches more than
+// log P messages, unlike a flat gather), then broadcasts the result.
+// Every rank receives the summed vector.
+func (c *Comm) ReduceIntsSum(vals []int64) []int64 {
+	tag := c.nextCollTag()
+	size := c.Size()
+	acc := append([]int64(nil), vals...)
+	// Binomial reduce to rank 0: at round k, ranks with bit k set send
+	// to (rank - 2^k) and drop out.
+	for bit := 1; bit < size; bit <<= 1 {
+		if c.rank&bit != 0 {
+			c.SendInts(c.rank-bit, tag, acc)
+			break
+		}
+		if c.rank+bit < size {
+			in := c.RecvInts(c.rank+bit, tag)
+			for i := range acc {
+				acc[i] += in[i]
+			}
+		}
+	}
+	return c.BcastInts(0, acc)
+}
+
+// Alltoall exchanges parts[i] from this rank to rank i; the result holds
+// the payload received from each rank (result[i] came from rank i).
+func (c *Comm) Alltoall(parts [][]byte) [][]byte {
+	tag := c.nextCollTag()
+	size := c.Size()
+	if len(parts) != size {
+		panic("msg: Alltoall requires exactly one part per rank")
+	}
+	out := make([][]byte, size)
+	for dst := 0; dst < size; dst++ {
+		if dst == c.rank {
+			out[dst] = append([]byte(nil), parts[dst]...)
+			continue
+		}
+		c.Send(dst, tag, parts[dst])
+	}
+	for src := 0; src < size; src++ {
+		if src == c.rank {
+			continue
+		}
+		out[src] = c.Recv(src, tag).Data
+	}
+	return out
+}

@@ -1,0 +1,62 @@
+package msg
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// The PLUM framework exchanges three kinds of payloads: integer id lists
+// (shared-edge marking rounds, similarity-matrix rows), float vectors
+// (solver ghost exchange), and opaque byte buffers (packed element
+// migration).  These helpers provide allocation-explicit conversions on
+// top of the raw byte transport.
+
+// PutInts encodes a slice of int64 values as little-endian bytes.
+func PutInts(vals []int64) []byte {
+	buf := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(buf[8*i:], uint64(v))
+	}
+	return buf
+}
+
+// GetInts decodes a byte slice produced by PutInts.
+func GetInts(data []byte) []int64 {
+	n := len(data) / 8
+	vals := make([]int64, n)
+	for i := range vals {
+		vals[i] = int64(binary.LittleEndian.Uint64(data[8*i:]))
+	}
+	return vals
+}
+
+// PutFloats encodes a slice of float64 values as little-endian IEEE-754.
+func PutFloats(vals []float64) []byte {
+	buf := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(v))
+	}
+	return buf
+}
+
+// GetFloats decodes a byte slice produced by PutFloats.
+func GetFloats(data []byte) []float64 {
+	n := len(data) / 8
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[8*i:]))
+	}
+	return vals
+}
+
+// SendInts sends an int64 slice to dst.
+func (c *Comm) SendInts(dst, tag int, vals []int64) { c.Send(dst, tag, PutInts(vals)) }
+
+// RecvInts receives an int64 slice from src.
+func (c *Comm) RecvInts(src, tag int) []int64 { return GetInts(c.Recv(src, tag).Data) }
+
+// SendFloats sends a float64 slice to dst.
+func (c *Comm) SendFloats(dst, tag int, vals []float64) { c.Send(dst, tag, PutFloats(vals)) }
+
+// RecvFloats receives a float64 slice from src.
+func (c *Comm) RecvFloats(src, tag int) []float64 { return GetFloats(c.Recv(src, tag).Data) }

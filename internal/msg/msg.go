@@ -1,0 +1,253 @@
+// Package msg provides an MPI-style message-passing runtime for a fixed
+// group of logical processors (ranks) executing as goroutines within a
+// single process.
+//
+// The paper this repository reproduces (Oliker & Biswas, SPAA 1997) was
+// implemented in C/C++ with MPI on an IBM SP2.  Go has no MPI bindings, so
+// this package supplies the substrate: tagged point-to-point sends and
+// receives, the collectives the PLUM framework needs (barrier, broadcast,
+// gather, scatter, allgather, reduce, allreduce, all-to-all), and a
+// deterministic simulated machine-time model (see clock.go) used to produce
+// shape-faithful scaling curves for processor counts far beyond the host's
+// physical core count.
+//
+// Semantics follow MPI's eager mode: sends are asynchronous and buffered
+// (they never block), receives block until a matching message (by source
+// and tag) arrives.  Message order between a fixed (source, destination,
+// tag) triple is FIFO, which makes every algorithm built on this package
+// deterministic.
+package msg
+
+import (
+	"fmt"
+	"sync"
+)
+
+// AnySource may be passed to Recv to match a message from any rank.
+const AnySource = -1
+
+// AnyTag may be passed to Recv to match a message with any tag.
+const AnyTag = -1
+
+// Tags below collectiveTagBase are available to user code; the collectives
+// synthesize their own tags above it from a per-rank sequence number.
+const collectiveTagBase = 1 << 24
+
+// Message is a received message together with its envelope.
+type Message struct {
+	Src  int    // sending rank
+	Tag  int    // user tag
+	Data []byte // payload (owned by the receiver after Recv)
+
+	// arrival is the simulated time at which the message is available at
+	// the receiver.  Zero when no cost model is installed.
+	arrival float64
+}
+
+// matchKey identifies a queue within a mailbox.
+type matchKey struct {
+	src int
+	tag int
+}
+
+// mailbox is the per-rank receive buffer.  Senders append, the owning rank
+// removes.  A single mutex + cond per rank suffices: contention is bounded
+// by the number of ranks and messages are coarse-grained in this workload.
+type mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queues map[matchKey][]*Message
+	// order preserves global arrival order for AnySource/AnyTag matching.
+	order []*Message
+}
+
+func newMailbox() *mailbox {
+	mb := &mailbox{queues: make(map[matchKey][]*Message)}
+	mb.cond = sync.NewCond(&mb.mu)
+	return mb
+}
+
+func (mb *mailbox) put(m *Message) {
+	mb.mu.Lock()
+	k := matchKey{m.Src, m.Tag}
+	mb.queues[k] = append(mb.queues[k], m)
+	mb.order = append(mb.order, m)
+	mb.cond.Broadcast()
+	mb.mu.Unlock()
+}
+
+// take removes and returns the first message matching (src, tag), blocking
+// until one is available.
+func (mb *mailbox) take(src, tag int) *Message {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for {
+		if m := mb.tryTakeLocked(src, tag); m != nil {
+			return m
+		}
+		mb.cond.Wait()
+	}
+}
+
+func (mb *mailbox) tryTakeLocked(src, tag int) *Message {
+	if src != AnySource && tag != AnyTag {
+		k := matchKey{src, tag}
+		q := mb.queues[k]
+		if len(q) == 0 {
+			return nil
+		}
+		m := q[0]
+		mb.queues[k] = q[1:]
+		mb.removeFromOrder(m)
+		return m
+	}
+	// Wildcard match: scan arrival order for determinism.
+	for i, m := range mb.order {
+		if (src == AnySource || m.Src == src) && (tag == AnyTag || m.Tag == tag) {
+			mb.order = append(mb.order[:i], mb.order[i+1:]...)
+			k := matchKey{m.Src, m.Tag}
+			q := mb.queues[k]
+			for j, qm := range q {
+				if qm == m {
+					mb.queues[k] = append(q[:j], q[j+1:]...)
+					break
+				}
+			}
+			return m
+		}
+	}
+	return nil
+}
+
+func (mb *mailbox) removeFromOrder(m *Message) {
+	for i, om := range mb.order {
+		if om == m {
+			mb.order = append(mb.order[:i], mb.order[i+1:]...)
+			return
+		}
+	}
+}
+
+// World holds the shared state of a group of ranks.
+type World struct {
+	size  int
+	boxes []*mailbox
+	model *CostModel // nil means no simulated timing
+}
+
+// Comm is one rank's handle to the world.  It is not safe for concurrent
+// use by multiple goroutines; each rank owns exactly one Comm.
+type Comm struct {
+	rank    int
+	world   *World
+	clock   Clock
+	collSeq int // collective sequence number, advances in lockstep
+}
+
+// Rank returns this processor's rank in [0, Size).
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of ranks in the world.
+func (c *Comm) Size() int { return c.world.size }
+
+// Clock returns the rank's simulated clock (zero-valued without a model).
+func (c *Comm) Clock() *Clock { return &c.clock }
+
+// Elapsed returns the rank's simulated elapsed time in seconds.
+func (c *Comm) Elapsed() float64 { return c.clock.Now }
+
+// Compute advances this rank's simulated clock by the cost of `units`
+// abstract work units under the installed cost model.
+func (c *Comm) Compute(units float64) {
+	if m := c.world.model; m != nil {
+		c.clock.Now += units * m.TWork
+	}
+}
+
+// AdvanceTime adds raw simulated seconds to this rank's clock.
+func (c *Comm) AdvanceTime(seconds float64) { c.clock.Now += seconds }
+
+// Send delivers data to rank dst with the given tag.  It never blocks.
+// The payload is copied, so the caller may reuse the slice.
+func (c *Comm) Send(dst, tag int, data []byte) {
+	if dst < 0 || dst >= c.world.size {
+		panic(fmt.Sprintf("msg: send to invalid rank %d (size %d)", dst, c.world.size))
+	}
+	buf := make([]byte, len(data))
+	copy(buf, data)
+	m := &Message{Src: c.rank, Tag: tag, Data: buf}
+	if mod := c.world.model; mod != nil {
+		// Sender pays the per-message setup plus per-byte injection cost;
+		// the message arrives after the wire latency.
+		c.clock.Now += mod.TSetup + float64(len(data))*mod.TByte
+		m.arrival = c.clock.Now + mod.TLatency
+	}
+	c.world.boxes[dst].put(m)
+}
+
+// Recv blocks until a message matching (src, tag) arrives and returns it.
+// src may be AnySource and tag may be AnyTag.
+//
+// Under the cost model the receiver waits for the arrival and then pays
+// its own per-message and per-byte receive overhead (matching + copy-out),
+// mirroring the sender's injection cost.  This is what makes a rooted
+// gather cost the root ~P message receipts — the host-side bottleneck the
+// paper's Section 4.2 warns about for serial partitioning.
+func (c *Comm) Recv(src, tag int) *Message {
+	m := c.world.boxes[c.rank].take(src, tag)
+	if mod := c.world.model; mod != nil {
+		if m.arrival > c.clock.Now {
+			c.clock.Now = m.arrival
+		}
+		c.clock.Now += mod.TSetup + float64(len(m.Data))*mod.TByte
+	}
+	return m
+}
+
+// Run executes fn on p ranks (goroutines) and blocks until all complete.
+// A panic on any rank is re-raised on the caller after all ranks stop.
+func Run(p int, fn func(*Comm)) {
+	RunModel(p, nil, fn)
+}
+
+// RunModel is Run with a simulated machine cost model installed; it returns
+// the final simulated clock value of each rank.  A nil model disables
+// timing (all clocks remain zero).
+func RunModel(p int, model *CostModel, fn func(*Comm)) []float64 {
+	if p <= 0 {
+		panic("msg: world size must be positive")
+	}
+	w := &World{size: p, boxes: make([]*mailbox, p), model: model}
+	for i := range w.boxes {
+		w.boxes[i] = newMailbox()
+	}
+	comms := make([]*Comm, p)
+	for i := range comms {
+		comms[i] = &Comm{rank: i, world: w}
+	}
+	var wg sync.WaitGroup
+	panics := make([]any, p)
+	for i := 0; i < p; i++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			defer func() {
+				if e := recover(); e != nil {
+					panics[r] = e
+				}
+			}()
+			fn(comms[r])
+		}(i)
+	}
+	wg.Wait()
+	for r, e := range panics {
+		if e != nil {
+			panic(fmt.Sprintf("msg: rank %d panicked: %v", r, e))
+		}
+	}
+	times := make([]float64, p)
+	for i, cm := range comms {
+		times[i] = cm.clock.Now
+	}
+	return times
+}

@@ -1,0 +1,263 @@
+// Package partition implements a multilevel k-way graph partitioner in
+// the style of (parallel) MeTiS, which the paper uses for mesh
+// repartitioning (Section 4.2): the graph is coarsened by heavy-edge
+// matching, the coarsest graph is partitioned by greedy graph growing,
+// and the partition is projected back through the levels with boundary
+// greedy refinement ("a combination of boundary greedy and Kernighan-Lin
+// refinement").
+//
+// Two entry points matter to PLUM:
+//
+//   - Partition: partition from scratch (initial mapping).
+//   - Repartition: partition using the previous assignment as the initial
+//     guess, which is the parallel-MeTiS behaviour the paper highlights —
+//     "an additional benefit ... is the potential reduction in remapping
+//     cost since parallel MeTiS, unlike the serial version, uses the
+//     previous partition as the initial guess."
+//
+// The distributed driver that runs this machinery under the message-
+// passing runtime (with per-rank simulated cost accounting) lives in
+// parallel.go.
+package partition
+
+import (
+	"fmt"
+
+	"plum/internal/dual"
+)
+
+// Options tunes the partitioner.  The zero value is usable; Default fills
+// in the standard tuning.
+type Options struct {
+	// ImbalanceTol is the allowed ratio of the heaviest part to the
+	// average part weight (MeTiS default 1.03; we use 1.05).
+	ImbalanceTol float64
+	// CoarsenTo stops coarsening when the graph has at most this many
+	// vertices (scaled by k); 0 means max(128, 16*k).
+	CoarsenTo int
+	// MaxRefinePasses bounds boundary refinement sweeps per level.
+	MaxRefinePasses int
+}
+
+// Default returns the standard options.
+func Default() Options {
+	return Options{ImbalanceTol: 1.05, MaxRefinePasses: 8}
+}
+
+func (o Options) coarsenTarget(k int) int {
+	if o.CoarsenTo > 0 {
+		return o.CoarsenTo
+	}
+	t := 16 * k
+	if t < 128 {
+		t = 128
+	}
+	return t
+}
+
+// Partition divides g into k parts balanced by WComp, minimizing edge
+// cut.  The result maps each vertex to a part in [0,k).
+func Partition(g *dual.Graph, k int, opt Options) []int32 {
+	return multilevel(g, k, nil, opt)
+}
+
+// Repartition divides g into k parts using prev (the current assignment)
+// as the initial guess, so the new partition stays close to the old one
+// and the eventual remapping cost is small.
+func Repartition(g *dual.Graph, k int, prev []int32, opt Options) []int32 {
+	if len(prev) != g.NumVerts() {
+		panic(fmt.Sprintf("partition: prev length %d != vertices %d", len(prev), g.NumVerts()))
+	}
+	return multilevel(g, k, prev, opt)
+}
+
+// level is one rung of the multilevel hierarchy.
+type level struct {
+	g    *dual.Graph
+	cmap []int32 // fine vertex -> coarse vertex of the next level
+}
+
+// multilevel runs coarsen / initial-partition / uncoarsen+refine.
+func multilevel(g *dual.Graph, k int, prev []int32, opt Options) []int32 {
+	if opt.ImbalanceTol == 0 {
+		opt = Default()
+	}
+	if k <= 0 {
+		panic("partition: k must be positive")
+	}
+	if k == 1 {
+		return make([]int32, g.NumVerts())
+	}
+	if k >= g.NumVerts() {
+		// Degenerate: one vertex per part.
+		part := make([]int32, g.NumVerts())
+		for i := range part {
+			part[i] = int32(i)
+		}
+		return part
+	}
+
+	target := opt.coarsenTarget(k)
+	var levels []level
+	cur := g
+	curPrev := prev
+	prevByLevel := [][]int32{curPrev}
+	for cur.NumVerts() > target {
+		cmap, nc := heavyEdgeMatching(cur)
+		if nc >= cur.NumVerts() { // matching stalled
+			break
+		}
+		coarse := dual.Contract(cur, cmap, nc)
+		levels = append(levels, level{g: cur, cmap: cmap})
+		if curPrev != nil {
+			cp := make([]int32, nc)
+			for i := range cp {
+				cp[i] = -1
+			}
+			for v, cv := range cmap {
+				if cp[cv] < 0 {
+					cp[cv] = curPrev[v]
+				}
+			}
+			curPrev = cp
+		}
+		prevByLevel = append(prevByLevel, curPrev)
+		cur = coarse
+	}
+
+	// Initial partition on the coarsest graph.
+	var part []int32
+	if curPrev != nil {
+		part = append([]int32(nil), curPrev...)
+		rebalance(cur, part, k, opt.ImbalanceTol)
+	} else {
+		part = greedyGrow(cur, k)
+		rebalance(cur, part, k, opt.ImbalanceTol)
+	}
+	refine(cur, part, k, opt)
+
+	// Uncoarsen: project and refine each finer level.
+	for li := len(levels) - 1; li >= 0; li-- {
+		part = dual.ProjectPartition(part, levels[li].cmap)
+		rebalance(levels[li].g, part, k, opt.ImbalanceTol)
+		refine(levels[li].g, part, k, opt)
+	}
+	return part
+}
+
+// heavyEdgeMatching computes a matching preferring heavy edges
+// (deterministic: vertices visited in index order, ties to the smaller
+// neighbour index) and returns the fine-to-coarse map and the coarse
+// vertex count.
+func heavyEdgeMatching(g *dual.Graph) (cmap []int32, nc int) {
+	n := g.NumVerts()
+	match := make([]int32, n)
+	for i := range match {
+		match[i] = -1
+	}
+	for v := int32(0); v < int32(n); v++ {
+		if match[v] >= 0 {
+			continue
+		}
+		best := int32(-1)
+		var bestW int64 = -1
+		nbs := g.Neighbors(v)
+		wts := g.EdgeWeights(v)
+		for i, u := range nbs {
+			if match[u] >= 0 {
+				continue
+			}
+			if wts[i] > bestW || (wts[i] == bestW && u < best) {
+				best, bestW = u, wts[i]
+			}
+		}
+		if best >= 0 {
+			match[v] = best
+			match[best] = v
+		} else {
+			match[v] = v // matched with itself
+		}
+	}
+	cmap = make([]int32, n)
+	for i := range cmap {
+		cmap[i] = -1
+	}
+	var c int32
+	for v := int32(0); v < int32(n); v++ {
+		if cmap[v] >= 0 {
+			continue
+		}
+		cmap[v] = c
+		if match[v] != v {
+			cmap[match[v]] = c
+		}
+		c++
+	}
+	return cmap, int(c)
+}
+
+// greedyGrow produces an initial k-way partition by greedy graph growing:
+// regions are grown one at a time from an unassigned seed, preferring
+// frontier vertices most connected to the region, until each reaches the
+// target weight.
+func greedyGrow(g *dual.Graph, k int) []int32 {
+	n := g.NumVerts()
+	part := make([]int32, n)
+	for i := range part {
+		part[i] = -1
+	}
+	total := g.TotalWComp()
+	assignedW := int64(0)
+	assignedN := 0
+	for p := int32(0); p < int32(k-1); p++ {
+		remainingParts := int64(k) - int64(p)
+		targetW := (total - assignedW + remainingParts - 1) / remainingParts
+		// Seed: first unassigned vertex (deterministic).
+		seed := int32(-1)
+		for v := int32(0); v < int32(n); v++ {
+			if part[v] < 0 {
+				seed = v
+				break
+			}
+		}
+		if seed < 0 {
+			break
+		}
+		// Grow by repeatedly taking the frontier vertex with the largest
+		// connection to the region.
+		conn := make(map[int32]int64) // unassigned frontier vertex -> connectivity
+		take := func(v int32) {
+			part[v] = p
+			assignedW += g.WComp[v]
+			assignedN++
+			delete(conn, v)
+			wts := g.EdgeWeights(v)
+			for i, u := range g.Neighbors(v) {
+				if part[u] < 0 {
+					conn[u] += wts[i]
+				}
+			}
+		}
+		take(seed)
+		regionW := g.WComp[seed]
+		for regionW < targetW && len(conn) > 0 {
+			best := int32(-1)
+			var bestC int64 = -1
+			for u, c := range conn {
+				if c > bestC || (c == bestC && (best < 0 || u < best)) {
+					best, bestC = u, c
+				}
+			}
+			take(best)
+			regionW += g.WComp[best]
+		}
+		// Region became disconnected from the unassigned remainder; the
+		// next seed scan handles it.
+	}
+	for v := int32(0); v < int32(n); v++ {
+		if part[v] < 0 {
+			part[v] = int32(k - 1)
+		}
+	}
+	return part
+}

@@ -1,0 +1,150 @@
+package pmesh
+
+import (
+	"math"
+	"testing"
+
+	"plum/internal/adapt"
+	"plum/internal/mesh"
+	"plum/internal/msg"
+)
+
+func TestFinalizeMatchesSerial(t *testing.T) {
+	global := mesh.Box(3, 3, 2, 3, 3, 2)
+	ind := adapt.SphericalIndicator(mesh.Vec3{1.5, 1.5, 1.0}, 0.8, 0.5)
+
+	serial := adapt.FromMesh(global, 1)
+	serial.BuildEdgeElems()
+	errv := serial.EdgeErrorGeometric(ind)
+	serial.TargetEdges(errv, 0.5)
+	serial.Propagate()
+	serial.Refine()
+	want := serial.ActiveCounts()
+
+	part := testPartition(global, 4)
+	msg.Run(4, func(c *msg.Comm) {
+		d := New(c, global, part, 1)
+		le := d.M.EdgeErrorGeometric(ind)
+		d.M.TargetEdges(le, 0.5)
+		d.PropagateParallel()
+		d.Refine()
+		before := d.GlobalCounts()
+
+		gm := d.Finalize()
+		if c.Rank() != 0 {
+			if gm != nil {
+				t.Errorf("rank %d received a global mesh", c.Rank())
+			}
+			return
+		}
+		if err := gm.CheckInvariants(); err != nil {
+			t.Fatalf("finalized mesh invalid: %v", err)
+		}
+		got := gm.ActiveCounts()
+		if got != want || got != before {
+			t.Errorf("finalized counts %+v, serial %+v, distributed %+v", got, want, before)
+		}
+		// Volume must match the box.
+		if math.Abs(gm.TotalActiveVolume()-18.0) > 1e-9 {
+			t.Errorf("finalized volume %v, want 18", gm.TotalActiveVolume())
+		}
+	})
+}
+
+func TestFinalizeLeavesDistributedMeshIntact(t *testing.T) {
+	global := mesh.Box(2, 2, 2, 1, 1, 1)
+	part := testPartition(global, 2)
+	msg.Run(2, func(c *msg.Comm) {
+		d := New(c, global, part, 0)
+		before := d.M.ActiveCounts()
+		d.Finalize()
+		if d.M.ActiveCounts() != before {
+			t.Errorf("rank %d: finalize mutated the local mesh", c.Rank())
+		}
+		if err := d.M.CheckInvariants(); err != nil {
+			t.Errorf("rank %d: %v", c.Rank(), err)
+		}
+	})
+}
+
+func TestParallelCoarsenRoundTrip(t *testing.T) {
+	// Refine around a shock, move the shock away, coarsen: the
+	// distributed mesh must shrink, stay conforming, and agree with the
+	// serial implementation.
+	global := mesh.Box(3, 3, 2, 3, 3, 2)
+	shock := adapt.SphericalIndicator(mesh.Vec3{1.0, 1.0, 1.0}, 0.6, 0.4)
+	moved := adapt.SphericalIndicator(mesh.Vec3{2.5, 2.5, 1.5}, 0.3, 0.2)
+
+	// Serial reference.
+	serial := adapt.FromMesh(global, 0)
+	serial.BuildEdgeElems()
+	errv := serial.EdgeErrorGeometric(shock)
+	serial.TargetEdges(errv, 0.5)
+	serial.Propagate()
+	serial.Refine()
+	peak := serial.ActiveCounts()
+	errv = serial.EdgeErrorGeometric(moved)
+	serial.Coarsen(serial.TargetCoarsenEdges(errv, 0.5))
+	want := serial.ActiveCounts()
+	if want.Elems >= peak.Elems {
+		t.Fatalf("serial coarsening did not shrink: %d -> %d", peak.Elems, want.Elems)
+	}
+
+	for _, p := range []int{2, 4} {
+		part := testPartition(global, p)
+		msg.Run(p, func(c *msg.Comm) {
+			d := New(c, global, part, 0)
+			le := d.M.EdgeErrorGeometric(shock)
+			d.M.TargetEdges(le, 0.5)
+			d.PropagateParallel()
+			d.Refine()
+			if got := d.GlobalCounts(); got != peak {
+				t.Fatalf("p=%d: refined counts %+v != serial %+v", p, got, peak)
+			}
+			d.ParallelCoarsen(moved, 0.5)
+			if err := d.M.CheckInvariants(); err != nil {
+				t.Errorf("p=%d rank %d: %v", p, c.Rank(), err)
+			}
+			got := d.GlobalCounts()
+			if got != want {
+				t.Errorf("p=%d: coarsened counts %+v != serial %+v", p, got, want)
+			}
+		})
+	}
+}
+
+func TestParallelCoarsenAfterMigration(t *testing.T) {
+	// Coarsening must still work when families have moved between
+	// processors since refinement.
+	global := mesh.Box(2, 2, 2, 2, 2, 2)
+	shock := adapt.SphericalIndicator(mesh.Vec3{1, 1, 1}, 0.5, 0.4)
+	far := adapt.SphericalIndicator(mesh.Vec3{5, 5, 5}, 0.1, 0.1)
+	part := testPartition(global, 3)
+	msg.Run(3, func(c *msg.Comm) {
+		d := New(c, global, part, 0)
+		le := d.M.EdgeErrorGeometric(shock)
+		d.M.TargetEdges(le, 0.5)
+		d.PropagateParallel()
+		d.Refine()
+		peak := d.GlobalCounts()
+		// Rotate all ownership by one rank.
+		newOwner := make([]int32, global.NumElems())
+		for g := range newOwner {
+			newOwner[g] = (d.RootOwner[g] + 1) % 3
+		}
+		d.Migrate(newOwner)
+		// Error is far away everywhere: coarsen everything.
+		d.ParallelCoarsen(far, 0.5)
+		if err := d.M.CheckInvariants(); err != nil {
+			t.Errorf("rank %d: %v", c.Rank(), err)
+		}
+		got := d.GlobalCounts()
+		if got.Elems >= peak.Elems {
+			t.Errorf("coarsening after migration did not shrink: %d -> %d", peak.Elems, got.Elems)
+		}
+		// Full coarsening restores the initial mesh size.
+		if got.Elems != global.NumElems() {
+			t.Errorf("expected full coarsening to %d elements, got %d", global.NumElems(), got.Elems)
+		}
+	})
+}

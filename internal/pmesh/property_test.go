@@ -1,0 +1,147 @@
+package pmesh
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"plum/internal/adapt"
+	"plum/internal/mesh"
+	"plum/internal/msg"
+)
+
+// TestPropertyDistributedEqualsSerial: for random partitions (not just
+// the partitioner's output) and random spherical indicators, distributed
+// marking + propagation + refinement produces exactly the serial mesh.
+func TestPropertyDistributedEqualsSerial(t *testing.T) {
+	global := mesh.Box(2, 2, 2, 2, 2, 2)
+	prop := func(seeds [8]uint8, cx, cy, cz uint8) bool {
+		// Random but valid partition over 3 ranks.
+		part := make([]int32, global.NumElems())
+		for i := range part {
+			part[i] = int32(seeds[i%8]+uint8(i)) % 3
+		}
+		centre := mesh.Vec3{
+			2 * float64(cx%100) / 100,
+			2 * float64(cy%100) / 100,
+			2 * float64(cz%100) / 100,
+		}
+		ind := adapt.SphericalIndicator(centre, 0.5, 0.4)
+
+		serial := adapt.FromMesh(global, 0)
+		serial.BuildEdgeElems()
+		errv := serial.EdgeErrorGeometric(ind)
+		serial.TargetEdges(errv, 0.5)
+		serial.Propagate()
+		serial.Refine()
+		want := serial.ActiveCounts()
+
+		ok := true
+		msg.Run(3, func(c *msg.Comm) {
+			d := New(c, global, part, 0)
+			le := d.M.EdgeErrorGeometric(ind)
+			d.M.TargetEdges(le, 0.5)
+			d.PropagateParallel()
+			d.Refine()
+			if err := d.M.CheckInvariants(); err != nil {
+				t.Logf("rank %d: %v", c.Rank(), err)
+				ok = false
+			}
+			if got := d.GlobalCounts(); got != want {
+				if c.Rank() == 0 {
+					t.Logf("counts %+v != serial %+v (partition %v)", got, want, part)
+				}
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 12, Rand: rand.New(rand.NewSource(2))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMultiLevelDistributedRefinement: two successive refinement levels
+// distributed must match two serial levels, exercising refinement of
+// already-refined families and SPLs on level-2 midpoints.
+func TestMultiLevelDistributedRefinement(t *testing.T) {
+	global := mesh.Box(2, 2, 2, 2, 2, 2)
+	inds := []func(mesh.Vec3) float64{
+		adapt.SphericalIndicator(mesh.Vec3{1, 1, 1}, 0.7, 0.5),
+		adapt.SphericalIndicator(mesh.Vec3{0.6, 0.6, 0.6}, 0.4, 0.3),
+	}
+
+	serial := adapt.FromMesh(global, 0)
+	for _, ind := range inds {
+		serial.BuildEdgeElems()
+		errv := serial.EdgeErrorGeometric(ind)
+		serial.TargetEdges(errv, 0.5)
+		serial.Propagate()
+		serial.Refine()
+	}
+	want := serial.ActiveCounts()
+
+	part := testPartition(global, 4)
+	msg.Run(4, func(c *msg.Comm) {
+		d := New(c, global, part, 0)
+		for li, ind := range inds {
+			le := d.M.EdgeErrorGeometric(ind)
+			d.M.TargetEdges(le, 0.5)
+			d.PropagateParallel()
+			d.Refine()
+			if err := d.M.CheckInvariants(); err != nil {
+				t.Fatalf("level %d rank %d: %v", li, c.Rank(), err)
+			}
+		}
+		if got := d.GlobalCounts(); got != want {
+			t.Errorf("two-level distributed counts %+v != serial %+v", got, want)
+		}
+	})
+}
+
+// TestMigrationBetweenRefinementLevels: refine, migrate, refine again —
+// families with multi-level trees must survive the move and keep
+// refining consistently.
+func TestMigrationBetweenRefinementLevels(t *testing.T) {
+	global := mesh.Box(2, 2, 2, 2, 2, 2)
+	ind1 := adapt.SphericalIndicator(mesh.Vec3{1, 1, 1}, 0.7, 0.5)
+	ind2 := adapt.SphericalIndicator(mesh.Vec3{1.2, 1.2, 1.2}, 0.4, 0.3)
+
+	serial := adapt.FromMesh(global, 0)
+	for _, ind := range []func(mesh.Vec3) float64{ind1, ind2} {
+		serial.BuildEdgeElems()
+		errv := serial.EdgeErrorGeometric(ind)
+		serial.TargetEdges(errv, 0.5)
+		serial.Propagate()
+		serial.Refine()
+	}
+	want := serial.ActiveCounts()
+
+	part := testPartition(global, 3)
+	msg.Run(3, func(c *msg.Comm) {
+		d := New(c, global, part, 0)
+		le := d.M.EdgeErrorGeometric(ind1)
+		d.M.TargetEdges(le, 0.5)
+		d.PropagateParallel()
+		d.Refine()
+		// Rotate ownership: every multi-level family moves.
+		newOwner := make([]int32, global.NumElems())
+		for g := range newOwner {
+			newOwner[g] = (d.RootOwner[g] + 1) % 3
+		}
+		d.Migrate(newOwner)
+		if err := d.M.CheckInvariants(); err != nil {
+			t.Fatalf("rank %d post-migrate: %v", c.Rank(), err)
+		}
+		le = d.M.EdgeErrorGeometric(ind2)
+		d.M.TargetEdges(le, 0.5)
+		d.PropagateParallel()
+		d.Refine()
+		if err := d.M.CheckInvariants(); err != nil {
+			t.Fatalf("rank %d post-refine: %v", c.Rank(), err)
+		}
+		if got := d.GlobalCounts(); got != want {
+			t.Errorf("counts %+v != serial %+v", got, want)
+		}
+	})
+}

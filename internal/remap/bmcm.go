@@ -1,0 +1,157 @@
+package remap
+
+import "sort"
+
+// OptimalBMCM solves the processor reassignment under the MaxV metric
+// (paper Section 4.4) as a bottleneck maximum cardinality matching: the
+// mapping minimizes the maximum over processors of
+//
+//	max(alpha * #ElementsSent_i, beta * #ElementsReceived_i)
+//
+// where, for processor i assigned partition j,
+// sent_i = rowsum_i - S[i][j] (resident weight that leaves i) and
+// recv_i = colsum_j - S[i][j] (weight of j not already on i).
+// Both depend only on the (i,j) pair, so each edge of the complete
+// bipartite graph has the fixed bottleneck cost
+//
+//	c(i,j) = max(alpha*(rowsum_i - S[i][j]), beta*(colsum_j - S[i][j]))
+//
+// and the optimum is found by binary search over the distinct costs with
+// a maximum-cardinality matching (Hopcroft-Karp) feasibility test.
+// Gabow & Tarjan [10] give the O((V log V)^{1/2} E) bound the paper
+// quotes; the binary-search formulation used here has the same optimal
+// result with an extra log factor.  Implemented for F == 1, as in the
+// paper.
+func OptimalBMCM(s *Similarity, alpha, beta float64) []int32 {
+	if s.F != 1 {
+		panic("remap: OptimalBMCM is implemented for F == 1, as in the paper")
+	}
+	n := s.P
+	rows := s.RowSums()
+	cols := s.ColSums()
+	cost := make([][]float64, n)
+	distinct := make([]float64, 0, n*n)
+	for i := 0; i < n; i++ {
+		cost[i] = make([]float64, n)
+		for j := 0; j < n; j++ {
+			sent := alpha * float64(rows[i]-s.S[i][j])
+			recv := beta * float64(cols[j]-s.S[i][j])
+			c := sent
+			if recv > c {
+				c = recv
+			}
+			cost[i][j] = c
+			distinct = append(distinct, c)
+		}
+	}
+	sort.Float64s(distinct)
+	distinct = dedupFloats(distinct)
+
+	// Binary search the smallest threshold admitting a perfect matching.
+	lo, hi := 0, len(distinct)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if perfectMatchingExists(cost, n, distinct[mid]) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	assign := matchUnderThreshold(cost, n, distinct[lo])
+	partToProc := make([]int32, n)
+	for j := 0; j < n; j++ {
+		partToProc[j] = int32(assign[j])
+	}
+	return partToProc
+}
+
+func dedupFloats(xs []float64) []float64 {
+	out := xs[:0]
+	for i, x := range xs {
+		if i == 0 || x != out[len(out)-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// perfectMatchingExists runs Hopcroft-Karp on the bipartite graph of
+// edges with cost <= t and reports whether all n rows can be matched.
+func perfectMatchingExists(cost [][]float64, n int, t float64) bool {
+	return len(matchUnderThreshold(cost, n, t)) == n
+}
+
+// matchUnderThreshold returns colToRow for a maximum matching using only
+// edges with cost <= t; the result has n entries only when the matching
+// is perfect (unmatched columns are dropped).
+func matchUnderThreshold(cost [][]float64, n int, t float64) map[int]int {
+	adj := make([][]int, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if cost[i][j] <= t {
+				adj[i] = append(adj[i], j)
+			}
+		}
+	}
+	matchRow := make([]int, n) // row -> col
+	matchCol := make([]int, n) // col -> row
+	for i := range matchRow {
+		matchRow[i] = -1
+		matchCol[i] = -1
+	}
+	const inf = int(^uint(0) >> 1)
+	dist := make([]int, n)
+
+	bfs := func() bool {
+		queue := make([]int, 0, n)
+		for i := 0; i < n; i++ {
+			if matchRow[i] < 0 {
+				dist[i] = 0
+				queue = append(queue, i)
+			} else {
+				dist[i] = inf
+			}
+		}
+		found := false
+		for qi := 0; qi < len(queue); qi++ {
+			i := queue[qi]
+			for _, j := range adj[i] {
+				w := matchCol[j]
+				if w < 0 {
+					found = true
+				} else if dist[w] == inf {
+					dist[w] = dist[i] + 1
+					queue = append(queue, w)
+				}
+			}
+		}
+		return found
+	}
+	var dfs func(i int) bool
+	dfs = func(i int) bool {
+		for _, j := range adj[i] {
+			w := matchCol[j]
+			if w < 0 || (dist[w] == dist[i]+1 && dfs(w)) {
+				matchRow[i] = j
+				matchCol[j] = i
+				return true
+			}
+		}
+		dist[i] = inf
+		return false
+	}
+	for bfs() {
+		for i := 0; i < n; i++ {
+			if matchRow[i] < 0 {
+				dfs(i)
+			}
+		}
+	}
+	out := make(map[int]int, n)
+	for j := 0; j < n; j++ {
+		if matchCol[j] >= 0 {
+			out[j] = matchCol[j]
+		}
+	}
+	return out
+}

@@ -1,0 +1,36 @@
+package remap
+
+// Combined-metric mapping.  The paper closes Section 4.4 with: "in
+// general, the objective function may need to use a combination of both
+// metrics to effectively incorporate all related costs.  This issue will
+// be addressed in future work."  This file implements that extension: a
+// weighted combination of the TotalV and MaxV redistribution models
+// evaluated over a portfolio of candidate assignments.
+
+// CombinedCost returns wTotal * TotalV-cost + wMax * MaxV-cost for an
+// assignment under the machine model.
+func CombinedCost(s *Similarity, assign []int32, m Machine, wTotal, wMax float64) float64 {
+	mc := Cost(s, assign)
+	return wTotal*RedistributionCost(TotalV, mc, m) + wMax*RedistributionCost(MaxV, mc, m)
+}
+
+// BestCombined evaluates the three mappers (heuristic MWBG, optimal
+// MWBG, optimal BMCM) under the combined objective and returns the best
+// assignment, its cost, and which candidate won (0=heuristic, 1=optimal
+// MWBG, 2=BMCM).  Because the candidates are the optima of the two pure
+// metrics plus the cheap heuristic, the winner is never worse than
+// either pure strategy under the combined objective.
+func BestCombined(s *Similarity, m Machine, wTotal, wMax float64) (assign []int32, cost float64, winner int) {
+	candidates := [][]int32{HeuristicMWBG(s), OptimalMWBG(s)}
+	if s.F == 1 {
+		candidates = append(candidates, OptimalBMCM(s, 1, 1))
+	}
+	winner = -1
+	for i, cand := range candidates {
+		c := CombinedCost(s, cand, m, wTotal, wMax)
+		if winner < 0 || c < cost {
+			assign, cost, winner = cand, c, i
+		}
+	}
+	return assign, cost, winner
+}

@@ -1,0 +1,64 @@
+package remap
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestCombinedCostConsistency(t *testing.T) {
+	s := paperLikeMatrix()
+	m := Machine{TLat: 1, TSetup: 1, M: 1}
+	assign := OptimalMWBG(s)
+	// Pure weights reduce to the individual metrics.
+	if got, want := CombinedCost(s, assign, m, 1, 0), RedistributionCost(TotalV, Cost(s, assign), m); got != want {
+		t.Errorf("wTotal-only combined %v != TotalV %v", got, want)
+	}
+	if got, want := CombinedCost(s, assign, m, 0, 1), RedistributionCost(MaxV, Cost(s, assign), m); got != want {
+		t.Errorf("wMax-only combined %v != MaxV %v", got, want)
+	}
+}
+
+func TestBestCombinedNeverWorseThanPure(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	m := SP2Machine()
+	for trial := 0; trial < 40; trial++ {
+		s := randomSimilarity(rng, 3+rng.Intn(5), 0.4)
+		for _, w := range [][2]float64{{1, 0}, {0, 1}, {1, 1}, {0.3, 0.7}} {
+			best, cost, winner := BestCombined(s, m, w[0], w[1])
+			if err := s.CheckAssignment(best); err != nil {
+				t.Fatal(err)
+			}
+			if winner < 0 || winner > 2 {
+				t.Fatalf("winner index %d", winner)
+			}
+			for _, cand := range [][]int32{HeuristicMWBG(s), OptimalMWBG(s), OptimalBMCM(s, 1, 1)} {
+				if c := CombinedCost(s, cand, m, w[0], w[1]); c < cost-1e-12 {
+					t.Fatalf("trial %d w=%v: combined pick %v beaten by candidate %v", trial, w, cost, c)
+				}
+			}
+		}
+	}
+}
+
+func TestBestCombinedWinnerFollowsWeights(t *testing.T) {
+	// With pure MaxV weighting BMCM's assignment (or one matching its
+	// bottleneck) must win; with pure TotalV the MWBG optimum must win.
+	rng := rand.New(rand.NewSource(41))
+	m := Machine{TLat: 1, TSetup: 0, M: 1}
+	agree := 0
+	const trials = 30
+	for trial := 0; trial < trials; trial++ {
+		s := randomSimilarity(rng, 4+rng.Intn(3), 0.3)
+		bestT, _, _ := BestCombined(s, m, 1, 0)
+		if Cost(s, bestT).CTotal == Cost(s, OptimalMWBG(s)).CTotal {
+			agree++
+		}
+		bestM, _, _ := BestCombined(s, m, 0, 1)
+		if Cost(s, bestM).CMax > Cost(s, OptimalBMCM(s, 1, 1)).CMax {
+			t.Fatalf("trial %d: MaxV-weighted pick has worse bottleneck than BMCM", trial)
+		}
+	}
+	if agree != trials {
+		t.Errorf("TotalV-weighted pick matched MWBG volume in %d/%d trials", agree, trials)
+	}
+}

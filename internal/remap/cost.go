@@ -1,0 +1,129 @@
+package remap
+
+// Cost metrics and the gain/cost acceptance test (paper Sections 4.4-4.6).
+
+// MoveCost quantifies the data movement a processor assignment implies.
+// C counts initial-mesh-element remapping weight moved; N counts the sets
+// of elements moved between processor pairs (each set is one message).
+type MoveCost struct {
+	Objective int64 // retained weight, the mappers' objective F
+	CTotal    int64 // total weight moved between processors (TotalV's C)
+	NTotal    int   // number of processor-pair transfers (TotalV's N)
+	CMax      int64 // bottleneck processor's max(sent, received) (MaxV's C)
+	NMax      int   // bottleneck processor's transfer count (MaxV's N)
+	MaxSent   int64 // largest per-processor outgoing weight
+	MaxRecv   int64 // largest per-processor incoming weight
+}
+
+// Cost evaluates the movement statistics of assignment partToProc
+// (partition j -> processor) against similarity matrix s.
+func Cost(s *Similarity, partToProc []int32) MoveCost {
+	var mc MoveCost
+	sent := make([]int64, s.P)
+	recv := make([]int64, s.P)
+	nsent := make([]int, s.P)
+	nrecv := make([]int, s.P)
+	for i := 0; i < s.P; i++ {
+		for j := 0; j < s.NParts(); j++ {
+			w := s.S[i][j]
+			if w == 0 {
+				continue
+			}
+			dst := partToProc[j]
+			if dst == int32(i) {
+				mc.Objective += w
+				continue
+			}
+			// The elements of partition j resident on processor i move
+			// to processor dst as one set.
+			mc.CTotal += w
+			mc.NTotal++
+			sent[i] += w
+			nsent[i]++
+			recv[dst] += w
+			nrecv[dst]++
+		}
+	}
+	for i := 0; i < s.P; i++ {
+		if sent[i] > mc.MaxSent {
+			mc.MaxSent = sent[i]
+		}
+		if recv[i] > mc.MaxRecv {
+			mc.MaxRecv = recv[i]
+		}
+		m := sent[i]
+		nm := nsent[i]
+		if recv[i] > m {
+			m = recv[i]
+		}
+		if nrecv[i] > nm {
+			nm = nrecv[i]
+		}
+		if m > mc.CMax || (m == mc.CMax && nm > mc.NMax) {
+			mc.CMax = m
+			mc.NMax = nm
+		}
+	}
+	return mc
+}
+
+// Metric selects which redistribution cost model to use.
+type Metric int
+
+// The two generic metrics of Section 4.4.
+const (
+	// TotalV minimizes the total volume of data moved among all
+	// processors (reduces network contention).
+	TotalV Metric = iota
+	// MaxV minimizes the maximum flow of data to or from any single
+	// processor (reduces the bottleneck processor's time).
+	MaxV
+)
+
+func (m Metric) String() string {
+	if m == TotalV {
+		return "TotalV"
+	}
+	return "MaxV"
+}
+
+// Machine holds the machine-dependent constants of the cost model
+// (Section 4.5).
+type Machine struct {
+	TLat   float64 // remote-memory latency: per-word copy time
+	TSetup float64 // message startup time
+	TIter  float64 // solver time per iteration per initial-mesh element
+	M      int     // storage words per element (solver + adaptor)
+}
+
+// SP2Machine returns constants loosely calibrated to the paper's IBM SP2.
+func SP2Machine() Machine {
+	return Machine{TLat: 0.12e-6, TSetup: 40e-6, TIter: 25e-6, M: 60}
+}
+
+// RedistributionCost returns M*C*Tlat + N*Tsetup with (C, N) chosen by
+// the metric: (Ctotal, Ntotal) for TotalV, (Cmax, Nmax) for MaxV.
+func RedistributionCost(metric Metric, mc MoveCost, m Machine) float64 {
+	c, n := mc.CTotal, mc.NTotal
+	if metric == MaxV {
+		c, n = mc.CMax, mc.NMax
+	}
+	return float64(m.M)*float64(c)*m.TLat + float64(n)*m.TSetup
+}
+
+// ComputationalGain returns the solver time saved by adopting the new
+// partitions (Section 4.6):
+//
+//	Titer * Nadapt * (Wold_max - Wnew_max) + (Trefine_old - Trefine_new)
+//
+// where the W are the heaviest-processor computational loads and the
+// refinement term accounts for the better-balanced subdivision phase that
+// remapping before refinement buys.
+func ComputationalGain(m Machine, nadapt int, woldMax, wnewMax int64, refineSavings float64) float64 {
+	return m.TIter*float64(nadapt)*float64(woldMax-wnewMax) + refineSavings
+}
+
+// Accept reports whether the new partitioning should be adopted: "the
+// new partitioning and processor reassignment are accepted if the
+// computational gain is larger than the redistribution cost."
+func Accept(gain, cost float64) bool { return gain > cost }

@@ -1,0 +1,120 @@
+package remap
+
+// HeuristicMWBG is the paper's O(E) greedy approximation to the maximally
+// weighted bipartite graph matching (Section 4.4): similarity entries are
+// sorted in descending order with a radix sort, and scanned once,
+// assigning partition j to processor i whenever the partition is still
+// unassigned and the processor still needs partitions.
+//
+// Theorem 1 of the paper guarantees the objective is at least half the
+// optimal, and the corollary bounds the data movement at twice optimal.
+// Table 2 shows it is nearly optimal in practice at a tenth of the cost.
+func HeuristicMWBG(s *Similarity) []int32 {
+	nparts := s.NParts()
+	partMap := make([]int32, nparts)
+	for j := range partMap {
+		partMap[j] = -1
+	}
+	procUnmap := make([]int, s.P) // partitions each processor still needs
+	for i := range procUnmap {
+		procUnmap[i] = s.F
+	}
+
+	entries := sortedEntriesDesc(s)
+
+	count := 0
+	for _, e := range entries {
+		if count >= nparts {
+			break
+		}
+		if procUnmap[e.i] > 0 && partMap[e.j] < 0 {
+			procUnmap[e.i]--
+			partMap[e.j] = int32(e.i)
+			count++
+		}
+	}
+	// The zero entries of S participate implicitly: any partition still
+	// unassigned goes to any processor with remaining capacity (in
+	// deterministic order).
+	if count < nparts {
+		i := 0
+		for j := range partMap {
+			if partMap[j] >= 0 {
+				continue
+			}
+			for procUnmap[i] == 0 {
+				i++
+			}
+			procUnmap[i]--
+			partMap[j] = int32(i)
+			count++
+		}
+	}
+	return partMap
+}
+
+// entry is one similarity matrix cell.
+type entry struct {
+	val  int64
+	i, j int32
+}
+
+// sortedEntriesDesc returns all non-zero entries sorted by value
+// descending, ties broken by (i, j) ascending — an LSD radix sort over
+// the value bytes, per the paper's pseudocode ("generate list L of
+// entries in S in descending order using radix sort").
+func sortedEntriesDesc(s *Similarity) []entry {
+	var entries []entry
+	for i := range s.S {
+		for j, v := range s.S[i] {
+			if v > 0 {
+				entries = append(entries, entry{v, int32(i), int32(j)})
+			}
+		}
+	}
+	radixSortDesc(entries)
+	return entries
+}
+
+// radixSortDesc sorts entries by val descending, stable.  Entries were
+// appended in (i,j) ascending order, so stability yields the documented
+// tie-break.  Values are non-negative weights, so unsigned byte radix
+// passes apply directly.
+func radixSortDesc(entries []entry) {
+	n := len(entries)
+	if n < 2 {
+		return
+	}
+	buf := make([]entry, n)
+	src, dst := entries, buf
+	for shift := uint(0); shift < 64; shift += 8 {
+		var count [256]int
+		anyNonZero := false
+		for _, e := range src {
+			b := byte(uint64(e.val) >> shift)
+			count[b]++
+			if b != 0 {
+				anyNonZero = true
+			}
+		}
+		if !anyNonZero && shift > 0 {
+			break // all higher bytes zero: already fully sorted
+		}
+		// Descending: bucket 255 first.
+		pos := 0
+		var start [256]int
+		for b := 255; b >= 0; b-- {
+			start[b] = pos
+			pos += count[b]
+		}
+		for _, e := range src {
+			b := byte(uint64(e.val) >> shift)
+			dst[start[b]] = e
+			start[b]++
+		}
+		src, dst = dst, src
+	}
+	if &src[0] != &entries[0] {
+		copy(entries, src)
+	}
+}

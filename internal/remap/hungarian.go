@@ -1,0 +1,107 @@
+package remap
+
+// OptimalMWBG solves the processor reassignment exactly as a maximally
+// weighted bipartite graph matching (paper Section 4.4): with F == 1 the
+// problem is a square assignment between P processors and P partitions;
+// with F > 1 each processor is duplicated F times ("the processor
+// reassignment problem can be reduced to the MWBG problem by duplicating
+// each processor and all of its incident edges F times").
+//
+// The implementation is the Hungarian algorithm with potentials (shortest
+// augmenting paths), O(n^3), comfortably fast for the papers' P <= 64;
+// the paper quotes O(VE) for its solver — both are polynomial exact
+// methods and Table 2's qualitative comparison (optimal is ~10x slower
+// than the greedy heuristic) is preserved.
+func OptimalMWBG(s *Similarity) []int32 {
+	n := s.NParts()
+	// Build the duplicated profit matrix: row r corresponds to processor
+	// r/F, columns are partitions.  Convert to a minimization problem.
+	var maxVal int64
+	for i := range s.S {
+		for _, v := range s.S[i] {
+			if v > maxVal {
+				maxVal = v
+			}
+		}
+	}
+	cost := make([][]int64, n)
+	for r := 0; r < n; r++ {
+		proc := r / s.F
+		cost[r] = make([]int64, n)
+		for j := 0; j < n; j++ {
+			cost[r][j] = maxVal - s.S[proc][j]
+		}
+	}
+	rowOf := hungarianMin(cost)
+	// rowOf[j] = duplicated row assigned to column j; fold back to the
+	// processor.
+	partToProc := make([]int32, n)
+	for j := 0; j < n; j++ {
+		partToProc[j] = int32(rowOf[j] / s.F)
+	}
+	return partToProc
+}
+
+// hungarianMin solves the square min-cost assignment problem and returns
+// colToRow: for each column, the row assigned to it.  Standard potentials
+// formulation (see e.g. "Assignment problem" in competitive-programming
+// references); indices are 1-based internally.
+func hungarianMin(a [][]int64) []int {
+	n := len(a)
+	const inf = int64(1) << 62
+	u := make([]int64, n+1)
+	v := make([]int64, n+1)
+	p := make([]int, n+1)   // p[j]: row matched to column j (0 = none)
+	way := make([]int, n+1) // way[j]: previous column on the augmenting path
+	for i := 1; i <= n; i++ {
+		p[0] = i
+		j0 := 0
+		minv := make([]int64, n+1)
+		used := make([]bool, n+1)
+		for j := 0; j <= n; j++ {
+			minv[j] = inf
+		}
+		for {
+			used[j0] = true
+			i0 := p[j0]
+			var delta int64 = inf
+			j1 := 0
+			for j := 1; j <= n; j++ {
+				if used[j] {
+					continue
+				}
+				cur := a[i0-1][j-1] - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			for j := 0; j <= n; j++ {
+				if used[j] {
+					u[p[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if p[j0] == 0 {
+				break
+			}
+		}
+		for j0 != 0 {
+			j1 := way[j0]
+			p[j0] = p[j1]
+			j0 = j1
+		}
+	}
+	colToRow := make([]int, n)
+	for j := 1; j <= n; j++ {
+		colToRow[j-1] = p[j] - 1
+	}
+	return colToRow
+}

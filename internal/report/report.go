@@ -1,0 +1,166 @@
+// Package report renders aligned text tables and simple ASCII series
+// plots for the experiment harness, so cmd/plumbench and the examples
+// present the reproduced tables and figures in a form directly
+// comparable to the paper.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Table accumulates rows and renders them with aligned columns.
+type Table struct {
+	Title   string
+	headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, headers: headers}
+}
+
+// AddRow appends a row; values are formatted with %v, floats with %g
+// unless already strings.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = formatFloat(v)
+		case float32:
+			row[i] = formatFloat(float64(v))
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case math.Abs(v) >= 1000:
+		return fmt.Sprintf("%.0f", v)
+	case math.Abs(v) >= 1:
+		return fmt.Sprintf("%.2f", v)
+	case math.Abs(v) >= 0.001:
+		return fmt.Sprintf("%.4f", v)
+	default:
+		return fmt.Sprintf("%.2e", v)
+	}
+}
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "%s\n", t.Title)
+	}
+	var sb strings.Builder
+	for i, h := range t.headers {
+		fmt.Fprintf(&sb, "%-*s  ", widths[i], h)
+	}
+	fmt.Fprintln(w, strings.TrimRight(sb.String(), " "))
+	fmt.Fprintln(w, strings.Repeat("-", totalWidth(widths)))
+	for _, row := range t.rows {
+		sb.Reset()
+		for i, c := range row {
+			fmt.Fprintf(&sb, "%-*s  ", widths[i], c)
+		}
+		fmt.Fprintln(w, strings.TrimRight(sb.String(), " "))
+	}
+	fmt.Fprintln(w)
+}
+
+func totalWidth(widths []int) int {
+	t := 0
+	for _, w := range widths {
+		t += w + 2
+	}
+	if t >= 2 {
+		t -= 2
+	}
+	return t
+}
+
+// Series is one named curve of a plot.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Plot renders curves as a crude ASCII chart (log-x aware callers should
+// pre-transform X).  Each series gets a distinct marker.
+func Plot(w io.Writer, title, xlabel, ylabel string, series []Series, height int) {
+	if height <= 0 {
+		height = 14
+	}
+	const width = 64
+	var xmin, xmax, ymin, ymax float64
+	first := true
+	for _, s := range series {
+		for i := range s.X {
+			if first {
+				xmin, xmax, ymin, ymax = s.X[i], s.X[i], s.Y[i], s.Y[i]
+				first = false
+				continue
+			}
+			xmin = math.Min(xmin, s.X[i])
+			xmax = math.Max(xmax, s.X[i])
+			ymin = math.Min(ymin, s.Y[i])
+			ymax = math.Max(ymax, s.Y[i])
+		}
+	}
+	if first || xmax == xmin {
+		fmt.Fprintf(w, "%s: no data\n", title)
+		return
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	markers := []byte{'o', '#', '+', 'x', '*', '@'}
+	for si, s := range series {
+		mk := markers[si%len(markers)]
+		for i := range s.X {
+			col := int((s.X[i] - xmin) / (xmax - xmin) * float64(width-1))
+			row := height - 1 - int((s.Y[i]-ymin)/(ymax-ymin)*float64(height-1))
+			if row >= 0 && row < height && col >= 0 && col < width {
+				grid[row][col] = mk
+			}
+		}
+	}
+	fmt.Fprintf(w, "%s  (y: %s in [%.3g, %.3g]; x: %s in [%.3g, %.3g])\n",
+		title, ylabel, ymin, ymax, xlabel, xmin, xmax)
+	for _, row := range grid {
+		fmt.Fprintf(w, "  |%s\n", string(row))
+	}
+	fmt.Fprintf(w, "  +%s\n", strings.Repeat("-", width))
+	var legend strings.Builder
+	for si, s := range series {
+		fmt.Fprintf(&legend, "  %c=%s", markers[si%len(markers)], s.Name)
+	}
+	fmt.Fprintln(w, legend.String())
+	fmt.Fprintln(w)
+}

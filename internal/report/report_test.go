@@ -1,0 +1,82 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("title", "A", "Blong", "C")
+	tb.AddRow(1, "x", 2.5)
+	tb.AddRow(1000, "yyyy", 0.00012)
+	var buf bytes.Buffer
+	tb.Render(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "title") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "Blong") {
+		t.Error("missing header")
+	}
+	if !strings.Contains(out, "yyyy") {
+		t.Error("missing cell")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Errorf("got %d lines:\n%s", len(lines), out)
+	}
+	// Column alignment: the second column starts at the same offset in
+	// both data rows.
+	h := strings.Index(lines[3], "x")
+	g := strings.Index(lines[4], "yyyy")
+	if h != g {
+		t.Errorf("columns misaligned: %d vs %d", h, g)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		1234:    "1234",
+		2.5:     "2.50",
+		0.0123:  "0.0123",
+		1.2e-06: "1.20e-06",
+	}
+	for v, want := range cases {
+		if got := formatFloat(v); got != want {
+			t.Errorf("formatFloat(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestPlotBasic(t *testing.T) {
+	var buf bytes.Buffer
+	Plot(&buf, "t", "x", "y", []Series{
+		{Name: "up", X: []float64{1, 2, 3, 4}, Y: []float64{1, 2, 3, 4}},
+		{Name: "down", X: []float64{1, 2, 3, 4}, Y: []float64{4, 3, 2, 1}},
+	}, 10)
+	out := buf.String()
+	if !strings.Contains(out, "o=up") || !strings.Contains(out, "#=down") {
+		t.Errorf("legend missing:\n%s", out)
+	}
+	if strings.Count(out, "o") < 4 {
+		t.Error("markers missing")
+	}
+}
+
+func TestPlotEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	Plot(&buf, "t", "x", "y", nil, 5)
+	if !strings.Contains(buf.String(), "no data") {
+		t.Error("empty plot should say so")
+	}
+}
+
+func TestPlotDegenerateY(t *testing.T) {
+	var buf bytes.Buffer
+	Plot(&buf, "t", "x", "y", []Series{{Name: "flat", X: []float64{1, 2}, Y: []float64{3, 3}}}, 5)
+	if len(buf.String()) == 0 {
+		t.Error("flat series should still render")
+	}
+}

@@ -1,0 +1,187 @@
+package solver
+
+import (
+	"plum/internal/mesh"
+	"plum/internal/msg"
+	"plum/internal/pmesh"
+)
+
+// Parallel solver: each rank computes fluxes for the edges it owns
+// (exact ownership from pmesh.ResolveOwnership), partial vertex
+// accumulators for shared vertices are exchanged with the actual
+// sharers, combined in rank order for bitwise determinism, and every
+// holder applies the identical update.
+
+// PSolver is the distributed solver state bound to a DistMesh.
+type PSolver struct {
+	D   *pmesh.DistMesh
+	own *pmesh.EdgeOwnership
+	// sendTo[r] lists local shared vertices whose partials go to rank r.
+	sendTo map[int32][]int32
+}
+
+// NewParallel builds the solver for the current mesh topology.  Call
+// Rebuild after any adaption or migration.  Collective.
+func NewParallel(d *pmesh.DistMesh) *PSolver {
+	s := &PSolver{D: d}
+	s.Rebuild()
+	return s
+}
+
+// Rebuild refreshes ownership and exchange lists.  Collective.
+func (s *PSolver) Rebuild() {
+	s.own = s.D.ResolveOwnership()
+	s.sendTo = make(map[int32][]int32)
+	for v, sharers := range s.own.VertSharers {
+		for _, r := range sharers {
+			s.sendTo[r] = append(s.sendTo[r], v)
+		}
+	}
+	// Deterministic order: ascending gid per destination.
+	m := s.D.M
+	for r := range s.sendTo {
+		vs := s.sendTo[r]
+		sortByGID(vs, m.VertGID)
+	}
+}
+
+func sortByGID(vs []int32, gid []uint64) {
+	// Insertion sort: lists are short (partition surface).
+	for i := 1; i < len(vs); i++ {
+		v := vs[i]
+		j := i - 1
+		for j >= 0 && gid[vs[j]] > gid[v] {
+			vs[j+1] = vs[j]
+			j--
+		}
+		vs[j+1] = v
+	}
+}
+
+// Step advances the distributed solution one explicit iteration and
+// returns the local number of owned-edge flux evaluations.  Collective.
+func (s *PSolver) Step(dt float64) int {
+	d := s.D
+	m := d.M
+	if m.EdgeElems == nil {
+		m.BuildEdgeElems()
+	}
+	acc := make([]float64, len(m.Coords)*NComp)
+	deg := make([]float64, len(m.Coords))
+	work := 0
+	var ua, ub, flux [NComp]float64
+	for id := range m.EdgeV {
+		if !s.own.Owned[id] {
+			continue
+		}
+		a, b := OrientEdge(m, int32(id))
+		length := m.Coords[a].Sub(m.Coords[b]).Norm()
+		copy(ua[:], m.Sol[int(a)*NComp:])
+		copy(ub[:], m.Sol[int(b)*NComp:])
+		edgeFlux(&ua, &ub, length, &flux)
+		for k := 0; k < NComp; k++ {
+			acc[int(a)*NComp+k] -= flux[k]
+			acc[int(b)*NComp+k] += flux[k]
+		}
+		deg[a] += length
+		deg[b] += length
+		work++
+	}
+	d.C.Compute(float64(work))
+
+	// Ghost accumulation: exchange partial (acc, deg) of shared
+	// vertices with their actual sharers; combine in rank order.
+	p := d.C.Size()
+	me := int32(d.C.Rank())
+	parts := make([][]byte, p)
+	for r := 0; r < p; r++ {
+		vs := s.sendTo[int32(r)]
+		if len(vs) == 0 {
+			parts[r] = nil
+			continue
+		}
+		vals := make([]float64, 0, len(vs)*(NComp+2))
+		for _, v := range vs {
+			vals = append(vals, float64(int64(m.VertGID[v]>>32)), float64(uint32(m.VertGID[v])))
+			vals = append(vals, acc[int(v)*NComp:int(v)*NComp+NComp]...)
+			vals = append(vals, deg[v])
+		}
+		parts[r] = msg.PutFloats(vals)
+	}
+	recv := d.C.Alltoall(parts)
+
+	// Deterministic combination: process contributions rank by rank in
+	// ascending order, inserting our own partial at rank "me".  Shared
+	// accumulators start at zero and sum all partials.
+	type partial struct {
+		acc [NComp]float64
+		deg float64
+	}
+	combined := make(map[int32]*partial)
+	addPartial := func(v int32, a []float64, dg float64) {
+		c, ok := combined[v]
+		if !ok {
+			c = &partial{}
+			combined[v] = c
+		}
+		for k := 0; k < NComp; k++ {
+			c.acc[k] += a[k]
+		}
+		c.deg += dg
+	}
+	processRank := func(r int32) {
+		if r == me {
+			for v := range s.own.VertSharers {
+				addPartial(v, acc[int(v)*NComp:int(v)*NComp+NComp], deg[v])
+			}
+			return
+		}
+		vals := msg.GetFloats(recv[r])
+		stride := NComp + 3
+		for i := 0; i+stride <= len(vals); i += stride {
+			gid := uint64(int64(vals[i]))<<32 | uint64(uint32(int64(vals[i+1])))
+			v := m.VertByGID(gid)
+			if v < 0 {
+				continue // conservative SPL over-approximation
+			}
+			addPartial(v, vals[i+2:i+2+NComp], vals[i+2+NComp])
+		}
+	}
+	for r := int32(0); r < int32(p); r++ {
+		processRank(r)
+	}
+
+	// processRank(me) iterates a map: to keep determinism, overwrite
+	// shared entries directly rather than relying on map order —
+	// addition is per-vertex independent, so map iteration order does
+	// not affect the result.
+	for v, c := range combined {
+		copy(acc[int(v)*NComp:], c.acc[:])
+		deg[v] = c.deg
+	}
+	applyUpdate(m, acc, deg, dt)
+	return work
+}
+
+// InitParallel sets the initial condition on the local mesh.
+func (s *PSolver) InitParallel(f func(mesh.Vec3) [NComp]float64) {
+	InitField(s.D.M, f)
+}
+
+// GlobalMass sums the density diagnostic across ranks, counting shared
+// vertices once (lowest actual holder).  Collective.
+func (s *PSolver) GlobalMass() float64 {
+	m := s.D.M
+	me := int32(s.D.C.Rank())
+	var local float64
+	for v := range m.Coords {
+		if !m.VertAlive[v] {
+			continue
+		}
+		if sh := s.own.VertSharers[int32(v)]; len(sh) > 0 && sh[0] < me {
+			continue
+		}
+		local += m.Sol[v*NComp]
+	}
+	return s.D.C.AllreduceFloat64(local, msg.SumFloat64)
+}
