@@ -11,6 +11,7 @@ import (
 	"plum/internal/adapt"
 	"plum/internal/core"
 	"plum/internal/dual"
+	"plum/internal/linalg"
 	"plum/internal/mesh"
 	"plum/internal/msg"
 	"plum/internal/partition"
@@ -269,6 +270,90 @@ func BenchmarkSolverStep(b *testing.B) {
 			})
 		}
 	})
+}
+
+// BenchmarkSpMV measures the CSR sparse matrix-vector kernel — the hot
+// path of the implicit workload (one call per PCG iteration per rank).
+func BenchmarkSpMV(b *testing.B) {
+	global := mesh.Box(12, 9, 6, 4.7, 1.8, 1.2)
+	a := adapt.FromMesh(global, 0)
+	a.BuildEdgeElems()
+	ind := adapt.ShockCylinderIndicator(mesh.Vec3{2.35, 0.9, 0}, mesh.Vec3{0, 0, 1}, 0.7, 0.35)
+	errv := a.EdgeErrorGeometric(ind)
+	a.MarkTopFraction(errv, 0.33)
+	a.Propagate()
+	a.Refine()
+	A := linalg.Assemble(a, 1, 0.5)
+	x := make([]float64, A.NRows)
+	y := make([]float64, A.NRows)
+	for i := range x {
+		x[i] = float64(i%17) * 0.25
+	}
+	b.SetBytes(int64(A.NNZ()) * 8)
+	b.ReportMetric(float64(A.NNZ()), "nnz")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		A.MulVec(y, x)
+	}
+}
+
+// BenchmarkPCGIteration measures the per-iteration cost of the
+// preconditioned solver (10 iterations per op, uncapped tolerance), the
+// baseline future perf work on the implicit hot path compares against.
+func BenchmarkPCGIteration(b *testing.B) {
+	global := mesh.Box(12, 9, 6, 4.7, 1.8, 1.2)
+	a := adapt.FromMesh(global, 0)
+	A := linalg.Assemble(a, 1, 0.5)
+	sys := linalg.NewSerial(A)
+	rhs := make([]float64, A.NRows)
+	for i := range rhs {
+		rhs[i] = 1 + float64(i%7)*0.5
+	}
+	for _, kind := range []linalg.PrecondKind{linalg.PrecondNone, linalg.PrecondJacobi, linalg.PrecondSPAI} {
+		pre := sys.NewPrecond(kind)
+		b.Run(kind.String(), func(b *testing.B) {
+			const itersPerOp = 10
+			for i := 0; i < b.N; i++ {
+				x := make([]float64, A.NRows)
+				res := linalg.PCG(sys, pre, rhs, x, linalg.Options{Tol: 1e-300, MaxIter: itersPerOp})
+				if res.Iterations != itersPerOp {
+					b.Fatalf("expected %d iterations, got %d", itersPerOp, res.Iterations)
+				}
+			}
+			b.ReportMetric(itersPerOp, "pcg-iters/op")
+		})
+	}
+}
+
+// BenchmarkSPAISetup measures preconditioner construction (the
+// embarrassingly parallel per-row least-squares solves).
+func BenchmarkSPAISetup(b *testing.B) {
+	global := mesh.Box(12, 9, 6, 4.7, 1.8, 1.2)
+	a := adapt.FromMesh(global, 0)
+	A := linalg.Assemble(a, 1, 0.5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		linalg.NewSerialSPAI(A)
+	}
+}
+
+// BenchmarkImplicitDistributed measures a distributed implicit step on 4
+// ranks: assembly reuse, halo exchanges, exact reductions and all.
+func BenchmarkImplicitDistributed(b *testing.B) {
+	global := mesh.Box(8, 6, 4, 4.7, 1.8, 1.2)
+	g := dual.FromMesh(global)
+	part := partition.Partition(g, 4, partition.Default())
+	for i := 0; i < b.N; i++ {
+		msg.Run(4, func(c *msg.Comm) {
+			d := pmesh.New(c, global, part, solver.NComp)
+			solver.InitField(d.M, solver.GaussianPulse(mesh.Vec3{2.35, 0.9, 0.6}, 0.5))
+			im := solver.NewImplicit(d, solver.DefaultImplicitOptions())
+			r := im.Step()
+			if c.Rank() == 0 {
+				b.ReportMetric(float64(r.Iterations), "pcg-iters")
+			}
+		})
+	}
 }
 
 // BenchmarkMigration measures raw pack/ship/unpack throughput.

@@ -3,7 +3,13 @@
 //
 // Usage:
 //
-//	plumbench [-paper] [-exp all|table1|table2|fig2|fig4|fig5|fig6|fig7|fig8]
+//	plumbench [-paper] [-exp all|table1|table2|fig2|fig4|fig5|fig6|fig7|fig8|implicit]
+//
+// The implicit experiment goes beyond the paper: it drives the
+// solve->adapt->balance cycle with a preconditioned-CG workload
+// (internal/linalg) whose per-iteration halo exchanges and reductions
+// make the partition-quality metrics directly observable as simulated
+// communication time.
 //
 // By default a reduced-scale mesh (~4k elements, P up to 16) reproduces
 // the qualitative shapes in seconds; -paper switches to the
@@ -22,11 +28,12 @@ import (
 
 	"plum/internal/core"
 	"plum/internal/report"
+	"plum/internal/solver"
 )
 
 func main() {
 	paper := flag.Bool("paper", false, "run at paper scale (60,912 elements, P up to 64)")
-	exp := flag.String("exp", "all", "experiment to run: all, table1, table2, fig2, fig4, fig5, fig6, fig7, fig8")
+	exp := flag.String("exp", "all", "experiment to run: all, table1, table2, fig2, fig4, fig5, fig6, fig7, fig8, implicit")
 	flag.Parse()
 
 	e := core.NewExperiments(*paper)
@@ -74,6 +81,48 @@ func main() {
 	if run("fig8") {
 		fig8(w, e, needScaling())
 	}
+	if run("implicit") {
+		implicitExp(w, e)
+	}
+}
+
+func implicitExp(w *os.File, e *core.Experiments) {
+	fmt.Fprintln(w, "running the implicit workload (PCG on the adapted mesh, 2 cycles x P sweep)...")
+	rows := e.ImplicitScaling(2)
+	t := report.NewTable("Implicit workload: PCG-backed solve->adapt->balance cycle",
+		"P", "PCG iters", "conv", "Solve(s)", "Adapt(s)", "Remap(s)",
+		"WorkBal", "EdgeCut", "CommVol")
+	for _, r := range rows {
+		t.AddRow(r.P, r.PCGIters, r.Converged,
+			fmt.Sprintf("%.4f", r.SolverTime), fmt.Sprintf("%.4f", r.AdaptTime),
+			fmt.Sprintf("%.4f", r.RemapTime), fmt.Sprintf("%.3f", r.WorkBalance),
+			r.EdgeCut, r.CommVolume)
+	}
+	t.Render(w)
+	fmt.Fprintln(w, "note: iteration counts are bitwise identical across P (exact reductions);"+
+		" Solve(s) is where the partition's CommVolume becomes measurable time")
+	fmt.Fprintln(w)
+
+	p := 8
+	if len(e.Ps) > 0 && e.Ps[len(e.Ps)-1] < 8 {
+		p = e.Ps[len(e.Ps)-1]
+	}
+	fmt.Fprintf(w, "preconditioner comparison at P=%d (one implicit step, %d-component field)...\n", p, solver.NComp)
+	pr := e.PrecondComparison(p)
+	pt := report.NewTable("", "Preconditioner", "PCG iters", "converged", "final ||r||/||r0||", "Solve(s)")
+	var series []report.Series
+	for _, r := range pr {
+		pt.AddRow(r.Precond, r.Iterations, r.Converged,
+			fmt.Sprintf("%.2e", r.RelResid), fmt.Sprintf("%.4f", r.SolveTime))
+		series = append(series, report.ResidualSeries(r.Precond, r.Residuals))
+	}
+	pt.Render(w)
+	report.Plot(w, "PCG convergence by preconditioner (last component solve)",
+		"iteration", "log10 ||r||/||r0||", series, 12)
+	fmt.Fprintln(w, "shape: SPAI trades setup for the fewest iterations; Jacobi beats"+
+		" unpreconditioned CG at negligible cost (cf. Jia & Zhang on SPAI-class"+
+		" preconditioning for irregular sparse systems)")
+	fmt.Fprintln(w)
 }
 
 func table1(w *os.File, e *core.Experiments) {

@@ -1,0 +1,3 @@
+module plum
+
+go 1.22

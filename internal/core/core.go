@@ -12,6 +12,7 @@ import (
 	"plum/internal/msg"
 	"plum/internal/partition"
 	"plum/internal/remap"
+	"plum/internal/solver"
 )
 
 // Mapper selects the processor-reassignment algorithm (paper Section
@@ -64,6 +65,27 @@ func mapperWork(kind Mapper, p, f int) float64 {
 	}
 }
 
+// Workload selects the solver class driven between adaptions.  The
+// paper's framework couples to an explicit edge-based flow solver
+// (communication once per time step); the implicit workload solves a
+// backward-Euler system by preconditioned CG (communication every solver
+// iteration), so the balancer's communication metrics become directly
+// observable as simulated time.
+type Workload int
+
+// The two workload classes.
+const (
+	WorkloadExplicit Workload = iota
+	WorkloadImplicit
+)
+
+func (w Workload) String() string {
+	if w == WorkloadImplicit {
+		return "implicit"
+	}
+	return "explicit"
+}
+
 // Config tunes one PLUM adaption step.
 type Config struct {
 	F           int           // partitions per processor (paper uses 1)
@@ -80,6 +102,11 @@ type Config struct {
 	// always remap, as in the paper's single-step studies).
 	ForceAccept bool
 	PartOpts    partition.Options
+
+	// Workload selects the solver driven between adaptions; Implicit
+	// tunes the PCG-backed workload when WorkloadImplicit is chosen.
+	Workload Workload
+	Implicit solver.ImplicitOptions
 }
 
 // DefaultConfig returns the configuration used by the experiment
@@ -96,6 +123,8 @@ func DefaultConfig() Config {
 		ImbalanceThreshold: 1.10,
 		ForceAccept:        true,
 		PartOpts:           partition.Default(),
+		Workload:           WorkloadExplicit,
+		Implicit:           solver.DefaultImplicitOptions(),
 	}
 }
 

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"plum/internal/linalg"
+	"plum/internal/mesh"
+	"plum/internal/msg"
+	"plum/internal/partition"
+	"plum/internal/pmesh"
+	"plum/internal/solver"
+)
+
+// Implicit-workload experiments: the preconditioned-CG solver between
+// adaptions turns the partition-quality metrics (edge cut, CommVolume)
+// into directly measurable simulated communication time, because every
+// PCG iteration performs a halo exchange and three global reductions.
+
+// ImplicitRow is one processor count of the implicit scaling study.
+type ImplicitRow struct {
+	P            int
+	PCGIters     int     // PCG iterations in the final cycle (identical on all ranks)
+	Converged    bool    // all solves hit the 1e-8 tolerance
+	SolverTime   float64 // simulated seconds in the PCG solve phase
+	AdaptTime    float64 // mark + refine
+	RemapTime    float64 // data migration
+	WorkBalance  float64 // sum(work)/(P*max(work))
+	EdgeCut      int64   // final partition edge cut (dual graph)
+	CommVolume   int64   // final partition communication volume
+	GlobalElems  int     // mesh size after the final cycle
+	GlobalIters  int     // total PCG iterations across all cycles
+	MassDiagnost float64 // conservation-style diagnostic after the run
+}
+
+// implicitConfig returns the driver configuration of the implicit
+// workload experiments: few, expensive solver steps per cycle.
+func (e *Experiments) implicitConfig() Config {
+	cfg := e.Cfg
+	cfg.Workload = WorkloadImplicit
+	cfg.NAdapt = 2
+	return cfg
+}
+
+// ImplicitScaling drives the full solve->adapt->balance cycle under the
+// implicit workload for every processor count.  The PCG iteration
+// counts are bitwise identical across P (the determinism guarantee of
+// internal/linalg); what changes with P is the simulated time those
+// iterations cost — the communication the load balancer is minimizing.
+func (e *Experiments) ImplicitScaling(cycles int) []ImplicitRow {
+	var rows []ImplicitRow
+	ind := e.Indicator()
+	for _, p := range e.Ps {
+		initPart := e.initialPartition(p)
+		var row ImplicitRow
+		msg.RunModel(p, e.Model, func(c *msg.Comm) {
+			d := pmesh.New(c, e.Global, initPart, solver.NComp)
+			u := NewUnsteady(d, e.Dual, e.implicitConfig())
+			u.Frac = 0.10
+			u.Indicator = func(int) func(mesh.Vec3) float64 { return ind }
+			u.PS.InitParallel(solver.GaussianPulse(
+				mesh.Vec3{e.LX / 2, e.LY / 2, 0.6}, 0.5))
+			var last CycleStats
+			total := 0
+			conv := true
+			for i := 0; i < cycles; i++ {
+				last = u.Cycle()
+				total += last.PCGIters
+				conv = conv && last.PCGConverged
+			}
+			if c.Rank() != 0 {
+				return
+			}
+			row = ImplicitRow{
+				P:            p,
+				PCGIters:     last.PCGIters,
+				Converged:    conv,
+				SolverTime:   last.SolverTime,
+				AdaptTime:    last.Step.MarkTime + last.Step.RefineTime,
+				RemapTime:    last.Step.RemapTime,
+				WorkBalance:  last.WorkBalance,
+				EdgeCut:      partition.EdgeCut(e.Dual, d.RootOwner),
+				CommVolume:   partition.CommVolume(e.Dual, d.RootOwner),
+				GlobalElems:  last.Step.Counts.Elems,
+				GlobalIters:  total,
+				MassDiagnost: last.Mass,
+			}
+		})
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// PrecondRow compares preconditioners for one processor count.
+type PrecondRow struct {
+	Precond    string
+	Iterations int
+	Converged  bool
+	RelResid   float64
+	SolveTime  float64 // simulated seconds for one implicit step
+	Residuals  []float64
+}
+
+// PrecondComparison runs one implicit step on an adapted distributed
+// mesh with each preconditioner (the Jacobi-vs-SPAI trade the SPAI
+// literature studies: more setup, fewer and cheaper iterations).
+func (e *Experiments) PrecondComparison(p int) []PrecondRow {
+	kinds := []linalg.PrecondKind{linalg.PrecondNone, linalg.PrecondJacobi, linalg.PrecondSPAI}
+	rows := make([]PrecondRow, len(kinds))
+	initPart := e.initialPartition(p)
+	ind := e.Indicator()
+	for i, kind := range kinds {
+		msg.RunModel(p, e.Model, func(c *msg.Comm) {
+			d := pmesh.New(c, e.Global, initPart, solver.NComp)
+			d.MarkGeometricFraction(ind, 0.2)
+			d.PropagateParallel()
+			d.Refine()
+			solver.InitField(d.M, solver.GaussianPulse(
+				mesh.Vec3{e.LX / 2, e.LY / 2, 0.6}, 0.5))
+			opt := solver.DefaultImplicitOptions()
+			opt.Precond = kind
+			im := solver.NewImplicit(d, opt)
+			before := c.Elapsed()
+			r := im.Step()
+			elapsed := c.AllreduceFloat64(c.Elapsed()-before, msg.MaxFloat64)
+			if c.Rank() != 0 {
+				return
+			}
+			rows[i] = PrecondRow{
+				Precond:    kind.String(),
+				Iterations: r.Iterations,
+				Converged:  r.Converged,
+				RelResid:   r.RelResidual(),
+				SolveTime:  elapsed,
+				Residuals:  r.Residuals,
+			}
+		})
+	}
+	return rows
+}

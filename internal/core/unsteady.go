@@ -18,7 +18,8 @@ import (
 type Unsteady struct {
 	D   *pmesh.DistMesh
 	PS  *solver.PSolver
-	G   *dual.Graph // replicated dual graph (weights owned per rank)
+	IS  *solver.Implicit // non-nil when Cfg.Workload == WorkloadImplicit
+	G   *dual.Graph      // replicated dual graph (weights owned per rank)
 	Cfg Config
 
 	// Indicator returns the error-indicator function for cycle number
@@ -40,16 +41,24 @@ type Unsteady struct {
 type CycleStats struct {
 	Step        StepStats
 	Coarsen     adapt.CoarsenStats
-	SolverWork  int     // this rank's edge-flux evaluations
+	SolverWork  int     // this rank's work units (edge fluxes, or PCG iters x nnz)
 	WorkBalance float64 // sum(work)/(P*max(work)); 1.0 = perfect
 	Mass        float64 // conservation diagnostic
+	SolverTime  float64 // simulated seconds in the solve phase, max over ranks
+
+	// Implicit-workload accounting (zero under WorkloadExplicit).
+	PCGIters     int  // total PCG iterations this cycle
+	PCGConverged bool // every solve hit the tolerance
 }
 
 // NewUnsteady wires the driver over an existing distributed mesh with
-// the solver attached.  Collective.
+// the configured workload's solver attached.  Collective.
 func NewUnsteady(d *pmesh.DistMesh, g *dual.Graph, cfg Config) *Unsteady {
 	u := &Unsteady{D: d, G: g, Cfg: cfg, Frac: 0.1, DT: 0.002}
 	u.PS = solver.NewParallel(d)
+	if cfg.Workload == WorkloadImplicit {
+		u.IS = solver.NewImplicit(d, cfg.Implicit)
+	}
 	return u
 }
 
@@ -65,21 +74,44 @@ func (u *Unsteady) Cycle() CycleStats {
 	}
 	gv := u.G.WithWeights(u.G.WComp, u.G.WRemap)
 	cs.Step = AdaptionStep(c, u.D, gv, ind, u.Frac, u.Cfg)
-	u.PS.Rebuild()
+	// Rebuild only the active workload's solver: each rebuild performs
+	// a collective ownership resolution, so doing both would double the
+	// per-cycle setup cost for no benefit.
+	if u.IS != nil {
+		u.IS.Rebuild()
+	} else {
+		u.PS.Rebuild()
+	}
 
 	n := u.Cfg.NAdapt
 	if n <= 0 {
 		n = 1
 	}
-	for it := 0; it < n; it++ {
-		cs.SolverWork += u.PS.Step(u.DT)
+	timer := newPhaseTimer(c)
+	if u.IS != nil {
+		cs.PCGConverged = true
+		for it := 0; it < n; it++ {
+			r := u.IS.Step()
+			cs.SolverWork += r.Work
+			cs.PCGIters += r.Iterations
+			cs.PCGConverged = cs.PCGConverged && r.Converged
+		}
+	} else {
+		for it := 0; it < n; it++ {
+			cs.SolverWork += u.PS.Step(u.DT)
+		}
 	}
+	cs.SolverTime = timer.Lap()
 	maxW := c.AllreduceInt64(int64(cs.SolverWork), msg.MaxInt64)
 	sumW := c.AllreduceInt64(int64(cs.SolverWork), msg.SumInt64)
 	if maxW > 0 {
 		cs.WorkBalance = float64(sumW) / (float64(c.Size()) * float64(maxW))
 	}
-	cs.Mass = u.PS.GlobalMass()
+	if u.IS != nil {
+		cs.Mass = u.IS.GlobalMass()
+	} else {
+		cs.Mass = u.PS.GlobalMass()
+	}
 	u.cycle++
 	return cs
 }

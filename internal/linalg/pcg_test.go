@@ -1,0 +1,112 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+)
+
+// solveKnown builds b = A*xTrue and solves from x0 = 0.
+func solveKnown(t *testing.T, A *CSR, kind PrecondKind) (Result, []float64, []float64) {
+	t.Helper()
+	sys := NewSerial(A)
+	xTrue := make([]float64, A.NRows)
+	for i := range xTrue {
+		xTrue[i] = math.Cos(float64(i)) + 0.5
+	}
+	b := make([]float64, A.NRows)
+	A.MulVec(b, xTrue)
+	x := make([]float64, A.NRows)
+	res := PCG(sys, sys.NewPrecond(kind), b, x, DefaultOptions())
+	return res, x, xTrue
+}
+
+func TestPCGConvergesAllPreconditioners(t *testing.T) {
+	a := refinedMesh(3, 2, 2)
+	A := Assemble(a, 1.0, 1.0)
+	for _, kind := range []PrecondKind{PrecondNone, PrecondJacobi, PrecondSPAI} {
+		res, x, xTrue := solveKnown(t, A, kind)
+		if !res.Converged {
+			t.Fatalf("%v: did not converge in %d iterations (rel %v)",
+				kind, res.Iterations, res.RelResidual())
+		}
+		if rel := res.RelResidual(); rel > 1e-8 {
+			t.Fatalf("%v: relative residual %v > 1e-8", kind, rel)
+		}
+		for i := range x {
+			if math.Abs(x[i]-xTrue[i]) > 1e-6*(1+math.Abs(xTrue[i])) {
+				t.Fatalf("%v: x[%d]=%v, want %v", kind, i, x[i], xTrue[i])
+			}
+		}
+		if len(res.Residuals) != res.Iterations+1 {
+			t.Fatalf("%v: history length %d for %d iterations",
+				kind, len(res.Residuals), res.Iterations)
+		}
+	}
+}
+
+func TestPreconditionersReduceIterations(t *testing.T) {
+	a := refinedMesh(3, 3, 2)
+	// Small shift relative to the Laplacian scale: a stiffer system
+	// where preconditioning visibly pays.
+	A := Assemble(a, 0.05, 1.0)
+	iters := map[PrecondKind]int{}
+	for _, kind := range []PrecondKind{PrecondNone, PrecondJacobi, PrecondSPAI} {
+		res, _, _ := solveKnown(t, A, kind)
+		if !res.Converged {
+			t.Fatalf("%v: did not converge", kind)
+		}
+		iters[kind] = res.Iterations
+	}
+	if iters[PrecondJacobi] > iters[PrecondNone] {
+		t.Errorf("jacobi (%d iters) worse than unpreconditioned (%d)",
+			iters[PrecondJacobi], iters[PrecondNone])
+	}
+	if iters[PrecondSPAI] > iters[PrecondJacobi] {
+		t.Errorf("spai (%d iters) worse than jacobi (%d)",
+			iters[PrecondSPAI], iters[PrecondJacobi])
+	}
+	t.Logf("iterations: none=%d jacobi=%d spai=%d",
+		iters[PrecondNone], iters[PrecondJacobi], iters[PrecondSPAI])
+}
+
+func TestPCGZeroRHS(t *testing.T) {
+	a := refinedMesh(2, 2, 1)
+	A := Assemble(a, 1, 1)
+	sys := NewSerial(A)
+	b := make([]float64, A.NRows)
+	x := make([]float64, A.NRows)
+	res := PCG(sys, nil, b, x, DefaultOptions())
+	if !res.Converged || res.Iterations != 0 {
+		t.Fatalf("zero rhs: converged=%v iters=%d", res.Converged, res.Iterations)
+	}
+	for _, v := range x {
+		if v != 0 {
+			t.Fatal("zero rhs produced nonzero solution")
+		}
+	}
+}
+
+func TestSPAISymmetric(t *testing.T) {
+	a := refinedMesh(2, 2, 2)
+	A := Assemble(a, 0.5, 1.0)
+	p := NewSerialSPAI(A).(*matPrecond)
+	M := p.M
+	for i := 0; i < M.NRows; i++ {
+		cols, vals := M.Row(i)
+		for k, c := range cols {
+			bcols, bvals := M.Row(int(c))
+			found := false
+			for k2, c2 := range bcols {
+				if int(c2) == i {
+					if bvals[k2] != vals[k] {
+						t.Fatalf("M(%d,%d)=%v != M(%d,%d)=%v", i, c, vals[k], c, i, bvals[k2])
+					}
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("pattern not symmetric at (%d,%d)", i, c)
+			}
+		}
+	}
+}

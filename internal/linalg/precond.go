@@ -1,0 +1,247 @@
+package linalg
+
+import (
+	"math"
+	"sort"
+)
+
+// Jacobi is diagonal scaling: z_i = r_i / A_ii.  Embarrassingly parallel
+// and deterministic (the diagonal is assembled identically on every
+// backend).
+type Jacobi struct {
+	inv []float64
+}
+
+// NewJacobi builds the Jacobi preconditioner from the assembled diagonal.
+func NewJacobi(diag []float64) *Jacobi {
+	inv := make([]float64, len(diag))
+	for i, d := range diag {
+		inv[i] = 1 / d
+	}
+	return &Jacobi{inv: inv}
+}
+
+// Apply computes dst = D^-1 r.
+func (j *Jacobi) Apply(dst, r []float64) {
+	for i, v := range r {
+		dst[i] = v * j.inv[i]
+	}
+}
+
+// ---------------------------------------------------------------------
+// Static-pattern sparse approximate inverse (SPAI).
+//
+// Following the SPAI line of Grote & Huckle (and the static-pattern
+// variants studied for large irregular systems), row i of M minimizes
+// ||A m_i - e_i||_2 with the unknowns of m_i restricted to the sparsity
+// pattern of row i of A (the vertex and its mesh neighbours).  Because A
+// is symmetric this "column" solution doubles as row i of a left
+// approximate inverse.  Each row is an independent small dense
+// least-squares problem — embarrassingly parallel, which is what makes
+// SPAI attractive on distributed memory where incomplete factorizations
+// serialize.
+//
+// PCG needs a symmetric preconditioner, and the row-wise least-squares
+// solutions are not symmetric, so the final operator is
+// M_sym = (M + M^T)/2 — pattern-preserving because A's pattern is
+// symmetric.  Distributed construction only ever needs matrix rows of
+// the vertex's 1-hop neighbourhood (2-hop *entries* all appear in 1-hop
+// rows by symmetry), so the same ghost-row exchange that serves SpMV
+// serves SPAI setup.
+
+// RowFunc returns a matrix row by global id: column gids (ascending) and
+// values.  Implementations must return identical floats for a given gid
+// on every rank that can resolve it; nil slices mean the row is unknown.
+type RowFunc func(gid uint64) ([]uint64, []float64)
+
+// spaiRawRows computes the unsymmetrized SPAI rows for every row of A.
+// colGID[c] is the global id of column index c (length A.NCols).  The
+// returned slice is aligned with A.Val: entry k is M(row(k), col(k)).
+func spaiRawRows(A *CSR, colGID []uint64, arow RowFunc) []float64 {
+	out := make([]float64, len(A.Val))
+	var (
+		iGids []uint64
+		ahat  []float64 // dense |I| x |J|, row-major
+	)
+	for i := 0; i < A.NRows; i++ {
+		cols, _ := A.Row(i)
+		nj := len(cols)
+		jGids := make([]uint64, nj)
+		for k, c := range cols {
+			jGids[k] = colGID[c]
+		}
+
+		// I = union of the patterns of the rows in J, ascending gids.
+		iGids = iGids[:0]
+		for _, j := range jGids {
+			cg, _ := arow(j)
+			iGids = append(iGids, cg...)
+		}
+		sort.Slice(iGids, func(a, b int) bool { return iGids[a] < iGids[b] })
+		iGids = dedupSorted(iGids)
+		ni := len(iGids)
+
+		// Dense A(I, J): column j of the submatrix is row j of A
+		// scattered into I positions (A is symmetric).
+		if cap(ahat) < ni*nj {
+			ahat = make([]float64, ni*nj)
+		}
+		ahat = ahat[:ni*nj]
+		for k := range ahat {
+			ahat[k] = 0
+		}
+		for jj, j := range jGids {
+			cg, cv := arow(j)
+			for t, k := range cg {
+				ri := searchGID(iGids, k)
+				ahat[ri*nj+jj] = cv[t]
+			}
+		}
+
+		// Normal equations G m = A(I,J)^T e_i; G = A(I,J)^T A(I,J).
+		g := make([]float64, nj*nj)
+		for p := 0; p < nj; p++ {
+			for q := p; q < nj; q++ {
+				var s float64
+				for r := 0; r < ni; r++ {
+					s += ahat[r*nj+p] * ahat[r*nj+q]
+				}
+				g[p*nj+q] = s
+				g[q*nj+p] = s
+			}
+		}
+		rowI := searchGID(iGids, A.GID[i])
+		rhs := make([]float64, nj)
+		for p := 0; p < nj; p++ {
+			rhs[p] = ahat[rowI*nj+p]
+		}
+		m, ok := cholSolve(g, rhs, nj)
+		if !ok {
+			// Deterministic fallback: the Jacobi row.
+			m = make([]float64, nj)
+			m[searchGID(jGids, A.GID[i])] = 1 / A.Diag[i]
+		}
+		copy(out[A.RowPtr[i]:A.RowPtr[i+1]], m)
+	}
+	return out
+}
+
+// symmetrizeRows returns sym(k) = (raw(k) + M(colGid, rowGid))/2, where
+// the transposed entries come from mrow (local raw rows plus, in the
+// distributed case, exchanged ghost raw rows).
+func symmetrizeRows(A *CSR, colGID []uint64, raw []float64, mrow RowFunc) []float64 {
+	out := make([]float64, len(raw))
+	for i := 0; i < A.NRows; i++ {
+		gi := A.GID[i]
+		lo, hi := int(A.RowPtr[i]), int(A.RowPtr[i+1])
+		for k := lo; k < hi; k++ {
+			gj := colGID[A.Col[k]]
+			var t float64
+			if cg, cv := mrow(gj); cg != nil {
+				if p := searchGID(cg, gi); p >= 0 && p < len(cg) && cg[p] == gi {
+					t = cv[p]
+				}
+			}
+			out[k] = 0.5*raw[k] + 0.5*t
+		}
+	}
+	return out
+}
+
+// NewSerialSPAI builds the symmetrized static-pattern SPAI for a
+// serially assembled matrix.
+func NewSerialSPAI(A *CSR) Preconditioner {
+	arow := func(gid uint64) ([]uint64, []float64) {
+		i := A.RowOf(gid)
+		if i < 0 {
+			return nil, nil
+		}
+		return rowGids(A, i), A.Val[A.RowPtr[i]:A.RowPtr[i+1]]
+	}
+	raw := spaiRawRows(A, A.GID, arow)
+	mrow := func(gid uint64) ([]uint64, []float64) {
+		i := A.RowOf(gid)
+		if i < 0 {
+			return nil, nil
+		}
+		return rowGids(A, i), raw[A.RowPtr[i]:A.RowPtr[i+1]]
+	}
+	sym := symmetrizeRows(A, A.GID, raw, mrow)
+	M := &CSR{NRows: A.NRows, NCols: A.NCols, RowPtr: A.RowPtr, Col: A.Col, Val: sym, GID: A.GID}
+	return &matPrecond{M: M}
+}
+
+// matPrecond applies a sparse matrix as a preconditioner.
+type matPrecond struct {
+	M *CSR
+}
+
+func (p *matPrecond) Apply(dst, r []float64) { p.M.MulVec(dst, r) }
+
+// rowGids materializes the column gids of row i (rows are short; the
+// closures above call it transiently).
+func rowGids(A *CSR, i int) []uint64 {
+	cols, _ := A.Row(i)
+	g := make([]uint64, len(cols))
+	for k, c := range cols {
+		g[k] = A.GID[c]
+	}
+	return g
+}
+
+func dedupSorted(g []uint64) []uint64 {
+	out := g[:0]
+	for i, v := range g {
+		if i == 0 || v != g[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// searchGID returns the index of gid in the ascending slice g (or the
+// insertion point when absent; callers that may miss must re-check).
+func searchGID(g []uint64, gid uint64) int {
+	return sort.Search(len(g), func(i int) bool { return g[i] >= gid })
+}
+
+// cholSolve solves the SPD system G m = rhs (n x n, row-major) by
+// Cholesky factorization.  Returns ok=false when a pivot is not strictly
+// positive (G numerically rank-deficient).
+func cholSolve(g, rhs []float64, n int) ([]float64, bool) {
+	l := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			s := g[i*n+j]
+			for k := 0; k < j; k++ {
+				s -= l[i*n+k] * l[j*n+k]
+			}
+			if i == j {
+				if s <= 0 {
+					return nil, false
+				}
+				l[i*n+i] = math.Sqrt(s)
+			} else {
+				l[i*n+j] = s / l[j*n+j]
+			}
+		}
+	}
+	// Forward then backward substitution.
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := rhs[i]
+		for k := 0; k < i; k++ {
+			s -= l[i*n+k] * y[k]
+		}
+		y[i] = s / l[i*n+i]
+	}
+	m := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < n; k++ {
+			s -= l[k*n+i] * m[k]
+		}
+		m[i] = s / l[i*n+i]
+	}
+	return m, true
+}

@@ -1,0 +1,29 @@
+package linalg
+
+// MulVec computes dst = A*x.  This is the hot path of the implicit
+// workload: one call per PCG iteration per rank.  The kernel streams
+// RowPtr/Col/Val sequentially (the assembly orders columns ascending, so
+// accesses into x are monotone within a row) and unrolls the inner
+// product by four to keep the floating-point pipeline busy.  Serial and
+// distributed backends run this one kernel over identically ordered rows,
+// so the floating-point summation order — and therefore every bit of the
+// result — is the same everywhere by construction.
+//
+// len(x) must be A.NCols; len(dst) must be at least A.NRows.
+func (A *CSR) MulVec(dst, x []float64) {
+	col := A.Col
+	val := A.Val
+	for i := 0; i < A.NRows; i++ {
+		lo, hi := int(A.RowPtr[i]), int(A.RowPtr[i+1])
+		var s float64
+		k := lo
+		for ; k+4 <= hi; k += 4 {
+			s += val[k]*x[col[k]] + val[k+1]*x[col[k+1]] +
+				val[k+2]*x[col[k+2]] + val[k+3]*x[col[k+3]]
+		}
+		for ; k < hi; k++ {
+			s += val[k] * x[col[k]]
+		}
+		dst[i] = s
+	}
+}

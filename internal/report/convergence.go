@@ -1,0 +1,23 @@
+package report
+
+import "math"
+
+// ResidualSeries converts a PCG residual history into a plottable
+// series: x is the iteration number, y is log10(||r_k||/||r_0||), the
+// standard convergence-plot axes for Krylov solvers.  A zero or missing
+// initial residual yields an empty series.
+func ResidualSeries(name string, residuals []float64) Series {
+	s := Series{Name: name}
+	if len(residuals) == 0 || residuals[0] <= 0 {
+		return s
+	}
+	r0 := residuals[0]
+	for k, r := range residuals {
+		if r <= 0 {
+			break
+		}
+		s.X = append(s.X, float64(k))
+		s.Y = append(s.Y, math.Log10(r/r0))
+	}
+	return s
+}
