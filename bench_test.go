@@ -12,6 +12,7 @@ import (
 	"plum/internal/core"
 	"plum/internal/dual"
 	"plum/internal/linalg"
+	"plum/internal/machine"
 	"plum/internal/mesh"
 	"plum/internal/msg"
 	"plum/internal/partition"
@@ -58,7 +59,7 @@ func BenchmarkTable2Mappers(b *testing.B) {
 		for _, kind := range []core.Mapper{core.MapHeuristic, core.MapOptMWBG, core.MapOptBMCM} {
 			b.Run(kind.String()+"/P="+itoa(p), func(b *testing.B) {
 				for i := 0; i < b.N; i++ {
-					assign, _ := core.ApplyMapper(kind, s)
+					assign, _ := core.ApplyMapper(kind, s, nil)
 					_ = assign
 				}
 			})
@@ -143,7 +144,7 @@ func BenchmarkMapperScaling(b *testing.B) {
 		for _, kind := range []core.Mapper{core.MapHeuristic, core.MapOptMWBG, core.MapOptBMCM} {
 			b.Run(kind.String()+"/P="+itoa(p), func(b *testing.B) {
 				for i := 0; i < b.N; i++ {
-					assign, _ := core.ApplyMapper(kind, s)
+					assign, _ := core.ApplyMapper(kind, s, nil)
 					_ = assign
 				}
 			})
@@ -418,3 +419,78 @@ func itoa(n int) string {
 	}
 	return string(buf[i:])
 }
+
+// ---------------------------------------------------------------------
+// Machine-model benchmarks: the per-pair cost lookup sits on the send
+// and receive path of every simulated message, and the up-link
+// contention queue is the only mutex the fat tree takes per off-group
+// transfer.  Future model changes must keep both flat.
+
+// BenchmarkMachinePairLookup measures Model.Pair across the four
+// topologies at P=64 (the paper's largest machine).
+func BenchmarkMachinePairLookup(b *testing.B) {
+	const p = 64
+	for _, name := range machine.Names() {
+		m, err := machine.ByName(name, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) {
+			var sink float64
+			for i := 0; i < b.N; i++ {
+				lp := m.Pair(i%p, (i*7+3)%p)
+				sink += lp.Setup
+			}
+			benchSinkFloat = sink
+		})
+	}
+}
+
+// BenchmarkMachineHops measures the hop-distance metric MapTopo
+// evaluates O(P^2) times per similarity matrix.
+func BenchmarkMachineHops(b *testing.B) {
+	const p = 64
+	for _, name := range machine.Names() {
+		m, err := machine.ByName(name, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) {
+			sink := 0
+			for i := 0; i < b.N; i++ {
+				sink += m.Hops(i%p, (i*7+3)%p)
+			}
+			benchSinkInt = sink
+		})
+	}
+}
+
+// BenchmarkMachineContention measures the fat-tree up-link reservation
+// hot path: serial reservations on one group's up-link (the worst case
+// a bursting rank sees) and off-group transfers spread over all groups.
+func BenchmarkMachineContention(b *testing.B) {
+	const p = 64
+	ft := machine.NewFatTree(p, 4, machine.SP2Link(), 10e-6, machine.SP2Link().PerByte)
+	b.Run("same-uplink", func(b *testing.B) {
+		ft.Reset()
+		var sink float64
+		for i := 0; i < b.N; i++ {
+			sink = ft.Acquire(0, 32, 1024, sink)
+		}
+		benchSinkFloat = sink
+	})
+	b.Run("spread-uplinks", func(b *testing.B) {
+		ft.Reset()
+		var sink float64
+		for i := 0; i < b.N; i++ {
+			src := (i * 4) % p
+			sink = ft.Acquire(src, (src+32)%p, 1024, sink)
+		}
+		benchSinkFloat = sink
+	})
+}
+
+var (
+	benchSinkFloat float64
+	benchSinkInt   int
+)

@@ -9,6 +9,7 @@ package core
 import (
 	"time"
 
+	"plum/internal/machine"
 	"plum/internal/msg"
 	"plum/internal/partition"
 	"plum/internal/remap"
@@ -16,14 +17,16 @@ import (
 )
 
 // Mapper selects the processor-reassignment algorithm (paper Section
-// 4.4 / Table 2).
+// 4.4 / Table 2, plus the topology-aware extension).
 type Mapper int
 
-// The three mappers the paper compares.
+// The three mappers the paper compares, plus MapTopo: the hop-aware
+// mapper that minimizes hop-weighted MaxV on non-flat machines.
 const (
 	MapHeuristic Mapper = iota // greedy MWBG, O(E), TotalV metric
 	MapOptMWBG                 // optimal MWBG, TotalV metric
 	MapOptBMCM                 // optimal BMCM, MaxV metric
+	MapTopo                    // hop-discounted optimal, hop-weighted MaxV metric
 )
 
 func (m Mapper) String() string {
@@ -32,6 +35,8 @@ func (m Mapper) String() string {
 		return "HeuMWBG"
 	case MapOptMWBG:
 		return "OptMWBG"
+	case MapTopo:
+		return "MapTopo"
 	default:
 		return "OptBMCM"
 	}
@@ -39,13 +44,20 @@ func (m Mapper) String() string {
 
 // ApplyMapper runs the chosen mapper on a similarity matrix and reports
 // the wall-clock time it took (the paper's Table 2 reassignment times).
-func ApplyMapper(kind Mapper, s *remap.Similarity) (assign []int32, wall float64) {
+// topo is the machine the assignment will run on; it only affects
+// MapTopo, which treats a nil topo as the flat SP2.
+func ApplyMapper(kind Mapper, s *remap.Similarity, topo machine.Model) (assign []int32, wall float64) {
 	start := time.Now()
 	switch kind {
 	case MapHeuristic:
 		assign = remap.HeuristicMWBG(s)
 	case MapOptMWBG:
 		assign = remap.OptimalMWBG(s)
+	case MapTopo:
+		if topo == nil {
+			topo = machine.NewFlat(s.P, machine.SP2Link())
+		}
+		assign = remap.TopoAssign(s, topo)
 	default:
 		assign = remap.OptimalBMCM(s, 1, 1)
 	}
@@ -102,6 +114,12 @@ type Config struct {
 	// always remap, as in the paper's single-step studies).
 	ForceAccept bool
 	PartOpts    partition.Options
+
+	// Topo, when non-nil, is the machine topology the step runs on: the
+	// mapper sees it (MapTopo) and the gain/cost decision prices
+	// redistribution with its per-pair link constants instead of the
+	// flat Machine scalars.  Nil keeps the paper's uniform machine.
+	Topo machine.Model
 
 	// Workload selects the solver driven between adaptions; Implicit
 	// tunes the PCG-backed workload when WorkloadImplicit is chosen.

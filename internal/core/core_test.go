@@ -47,8 +47,8 @@ func TestApplyMapperKinds(t *testing.T) {
 	s.S[0] = []int64{10, 0, 5}
 	s.S[1] = []int64{0, 20, 0}
 	s.S[2] = []int64{5, 0, 30}
-	for _, kind := range []Mapper{MapHeuristic, MapOptMWBG, MapOptBMCM} {
-		assign, wall := ApplyMapper(kind, s)
+	for _, kind := range []Mapper{MapHeuristic, MapOptMWBG, MapOptBMCM, MapTopo} {
+		assign, wall := ApplyMapper(kind, s, nil)
 		if err := s.CheckAssignment(assign); err != nil {
 			t.Errorf("%v: %v", kind, err)
 		}
@@ -57,7 +57,7 @@ func TestApplyMapperKinds(t *testing.T) {
 		}
 	}
 	// This diagonal-dominant matrix has the identity as its optimum.
-	assign, _ := ApplyMapper(MapOptMWBG, s)
+	assign, _ := ApplyMapper(MapOptMWBG, s, nil)
 	for j, i := range assign {
 		if int(i) != j {
 			t.Errorf("optimal assignment %v not identity", assign)
@@ -66,7 +66,8 @@ func TestApplyMapperKinds(t *testing.T) {
 }
 
 func TestMapperString(t *testing.T) {
-	if MapHeuristic.String() != "HeuMWBG" || MapOptMWBG.String() != "OptMWBG" || MapOptBMCM.String() != "OptBMCM" {
+	if MapHeuristic.String() != "HeuMWBG" || MapOptMWBG.String() != "OptMWBG" ||
+		MapOptBMCM.String() != "OptBMCM" || MapTopo.String() != "MapTopo" {
 		t.Error("mapper names wrong")
 	}
 }

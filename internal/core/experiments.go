@@ -3,6 +3,7 @@ package core
 import (
 	"plum/internal/adapt"
 	"plum/internal/dual"
+	"plum/internal/machine"
 	"plum/internal/mesh"
 	"plum/internal/msg"
 	"plum/internal/partition"
@@ -22,7 +23,41 @@ type Experiments struct {
 	Cases  []CaseSpec
 	Ps     []int
 
+	// ModelName selects a machine topology (machine.ByName) for every
+	// simulated run; empty keeps the pre-machine-layer uniform SP2.
+	ModelName string
+
 	initParts map[int][]int32 // cached initial partition per P
+}
+
+// UseMachine selects the named machine topology for all subsequent
+// experiment runs.  The empty name restores the uniform (flat-scalar)
+// machine — the exact pre-machine-layer cost path.
+func (e *Experiments) UseMachine(name string) error {
+	if name == "" {
+		e.ModelName = ""
+		return nil
+	}
+	if _, err := machine.ByName(name, 2); err != nil {
+		return err
+	}
+	e.ModelName = name
+	return nil
+}
+
+// modelFor returns the cost model for a p-rank run: the scalar model
+// when no topology is selected, otherwise a copy carrying a fresh
+// instance of the named topology sized for p ranks (fresh contention
+// state per run).
+func (e *Experiments) modelFor(p int) *msg.CostModel {
+	if e.ModelName == "" {
+		return e.Model
+	}
+	topo, err := machine.ByName(e.ModelName, p)
+	if err != nil {
+		panic(err) // unreachable: UseMachine validated the name
+	}
+	return e.Model.WithTopo(topo)
 }
 
 // CaseSpec names a refinement strategy: the fraction of the initial
@@ -87,13 +122,15 @@ func (e *Experiments) initialPartition(p int) []int32 {
 func (e *Experiments) RunStep(p int, frac float64, before bool, mapper Mapper) StepStats {
 	initPart := e.initialPartition(p)
 	ind := e.Indicator()
+	mod := e.modelFor(p)
 	var out StepStats
-	msg.RunModel(p, e.Model, func(c *msg.Comm) {
+	msg.RunModel(p, mod, func(c *msg.Comm) {
 		d := pmesh.New(c, e.Global, initPart, 0)
 		g := e.Dual.WithWeights(e.Dual.WComp, e.Dual.WRemap)
 		cfg := e.Cfg
 		cfg.RemapBefore = before
 		cfg.Mapper = mapper
+		cfg.Topo = mod.Topo
 		if mapper == MapOptBMCM {
 			cfg.Metric = remap.MaxV
 		}
@@ -176,7 +213,7 @@ func (e *Experiments) Table2(frac float64) []Table2Row {
 		}
 		initPart := e.initialPartition(p)
 		var row Table2Row
-		msg.RunModel(p, e.Model, func(c *msg.Comm) {
+		msg.RunModel(p, e.modelFor(p), func(c *msg.Comm) {
 			d := pmesh.New(c, e.Global, initPart, 0)
 			_, _ = d.MarkGeometricFraction(ind, frac)
 			d.PropagateParallel()
@@ -189,7 +226,7 @@ func (e *Experiments) Table2(frac float64) []Table2Row {
 			}
 			row.P = p
 			evalMapper := func(kind Mapper) MapperOutcome {
-				assign, wall := ApplyMapper(kind, s)
+				assign, wall := ApplyMapper(kind, s, nil)
 				mc := remap.Cost(s, assign)
 				return MapperOutcome{TotalElems: mc.CTotal, MaxSent: mc.MaxSent, Wall: wall}
 			}
@@ -228,7 +265,7 @@ func Fig2() Fig2Result {
 	var r Fig2Result
 	r.S = s
 	for i, kind := range []Mapper{MapOptMWBG, MapHeuristic, MapOptBMCM} {
-		assign, _ := ApplyMapper(kind, s)
+		assign, _ := ApplyMapper(kind, s, nil)
 		r.Assign[i] = assign
 		r.Costs[i] = remap.Cost(s, assign)
 	}

@@ -49,10 +49,13 @@ func (e *Experiments) ImplicitScaling(cycles int) []ImplicitRow {
 	ind := e.Indicator()
 	for _, p := range e.Ps {
 		initPart := e.initialPartition(p)
+		mod := e.modelFor(p)
 		var row ImplicitRow
-		msg.RunModel(p, e.Model, func(c *msg.Comm) {
+		msg.RunModel(p, mod, func(c *msg.Comm) {
 			d := pmesh.New(c, e.Global, initPart, solver.NComp)
-			u := NewUnsteady(d, e.Dual, e.implicitConfig())
+			cfg := e.implicitConfig()
+			cfg.Topo = mod.Topo
+			u := NewUnsteady(d, e.Dual, cfg)
 			u.Frac = 0.10
 			u.Indicator = func(int) func(mesh.Vec3) float64 { return ind }
 			u.PS.InitParallel(solver.GaussianPulse(
@@ -107,7 +110,7 @@ func (e *Experiments) PrecondComparison(p int) []PrecondRow {
 	initPart := e.initialPartition(p)
 	ind := e.Indicator()
 	for i, kind := range kinds {
-		msg.RunModel(p, e.Model, func(c *msg.Comm) {
+		msg.RunModel(p, e.modelFor(p), func(c *msg.Comm) {
 			d := pmesh.New(c, e.Global, initPart, solver.NComp)
 			d.MarkGeometricFraction(ind, 0.2)
 			d.PropagateParallel()

@@ -3,6 +3,7 @@ package core
 import (
 	"plum/internal/adapt"
 	"plum/internal/dual"
+	"plum/internal/machine"
 	"plum/internal/mesh"
 	"plum/internal/msg"
 	"plum/internal/partition"
@@ -27,7 +28,10 @@ type StepStats struct {
 
 	WOldMax, WNewMax int64 // heaviest-rank post-refinement loads, old/new owners
 
-	Moved  remap.MoveCost
+	Moved remap.MoveCost
+	// Hop holds the hop-weighted movement metrics of the chosen
+	// assignment; only populated when cfg.Topo is set.
+	Hop    remap.HopCost
 	Mig    pmesh.MigrateStats
 	Refine adapt.RefineStats
 
@@ -100,9 +104,12 @@ func AdaptionStep(c *msg.Comm, d *pmesh.DistMesh, g *dual.Graph,
 	s := remap.BuildSimilarityDistributed(c, d.LocalRootIDs(), wr, newPart, cfg.F)
 	var assign []int32
 	if c.Rank() == 0 {
-		assign, st.ReassignWall = ApplyMapper(cfg.Mapper, s)
+		assign, st.ReassignWall = ApplyMapper(cfg.Mapper, s, cfg.Topo)
 		c.Compute(mapperWork(cfg.Mapper, c.Size(), cfg.F))
 		st.Moved = remap.Cost(s, assign)
+		if cfg.Topo != nil {
+			st.Hop = remap.HopWeightedCost(s, assign, cfg.Topo)
+		}
 	}
 	assign = remap.BroadcastAssignment(c, assign)
 	newOwner := make([]int32, len(newPart))
@@ -120,6 +127,17 @@ func AdaptionStep(c *msg.Comm, d *pmesh.DistMesh, g *dual.Graph,
 	if c.Rank() == 0 {
 		gain := remap.ComputationalGain(cfg.Machine, cfg.NAdapt, st.WOldMax, st.WNewMax, 0)
 		cost := remap.RedistributionCost(cfg.Metric, st.Moved, cfg.Machine)
+		if cfg.Topo != nil && !machine.Uniform(cfg.Topo) {
+			// Non-uniform network: price the redistribution with per-pair
+			// link constants so the decision sees the topology the data
+			// will actually cross.  Uniform topologies (flat, a single
+			// SMP node) keep the paper's scalar pricing — the two
+			// formulas are calibrated differently, and switching on a
+			// network with no pair structure would silently change
+			// accept/reject decisions, breaking the flat-is-a-no-op
+			// guarantee the golden tests pin.
+			cost = remap.RedistributionCostTopo(cfg.Metric, s, assign, cfg.Machine, cfg.Topo)
+		}
 		if cfg.ForceAccept || remap.Accept(gain, cost) {
 			acceptFlag = 1
 		}

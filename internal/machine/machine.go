@@ -1,0 +1,120 @@
+// Package machine models the simulated parallel machine as a first-class
+// object.  The paper's cost analysis (Oliker & Biswas, SPAA 1997,
+// Sections 4.4-4.6) prices every rebalancing decision against a machine:
+// the original is a flat IBM SP2 where every processor pair is
+// equidistant and every processor equally fast.  This package generalizes
+// that to a Model interface — per-pair message costs, per-rank compute
+// speed, network hop distance, and shared-link contention — with four
+// concrete machines:
+//
+//   - Flat: the uniform SP2 of the paper; bitwise-compatible with the
+//     scalar msg.CostModel constants when built from SP2Link().
+//   - SMPCluster: nodes of NodeSize ranks; cheap intra-node links
+//     (shared-memory copy) and expensive inter-node links.
+//   - FatTree: ranks at the leaves of a radix-R tree; latency grows with
+//     hop count and ranks in a leaf group serialize on a shared up-link
+//     (a contention queue).
+//   - Hetero: wraps any model with per-rank speed multipliers (two
+//     processor generations in one machine).
+//
+// The msg runtime consults the installed Model on every send, receive,
+// and compute charge; remap prices redistribution with per-pair costs;
+// and the MapTopo processor mapper minimizes hop-weighted data movement.
+package machine
+
+import "fmt"
+
+// LinkParams are the point-to-point message cost constants of one link
+// class — the per-pair generalization of the scalar cost model.
+type LinkParams struct {
+	Setup   float64 // per-message startup cost, seconds
+	PerByte float64 // per-byte injection/copy cost, seconds
+	Latency float64 // wire latency between injection and arrival, seconds
+}
+
+// Model is a simulated parallel machine.  Implementations must be safe
+// for concurrent use by all ranks (the ranks run as goroutines); all
+// methods except Acquire must be pure so that contention-free paths stay
+// deterministic.
+type Model interface {
+	// Name identifies the topology ("flat", "smp", ...).
+	Name() string
+	// Ranks returns the machine size the model was built for.
+	Ranks() int
+	// Pair returns the message cost constants from src to dst.
+	Pair(src, dst int) LinkParams
+	// Speed returns rank r's relative compute speed: 1 is the baseline,
+	// 0.5 means the same work takes twice as long.
+	Speed(r int) float64
+	// Hops returns the network distance between two ranks: 0 for
+	// src == dst, growing with topological distance.  MapTopo minimizes
+	// hop-weighted data movement against this metric.
+	Hops(src, dst int) int
+	// Acquire reserves the shared network resources needed by a transfer
+	// of nbytes from src to dst that is ready to inject at simulated
+	// time depart, and returns the actual injection time — depart itself
+	// on contention-free links.  Implementations with shared state must
+	// be mutex-guarded; reservation order follows goroutine scheduling,
+	// so contended paths are approximately (not bitwise) reproducible.
+	Acquire(src, dst, nbytes int, depart float64) float64
+	// Reset clears contention state so a model can be reused across
+	// simulation runs.
+	Reset()
+}
+
+// SP2Link returns the link constants of the paper's IBM SP2 — the same
+// values as msg.SP2Model's scalars (~40 us startup, ~35 MB/s sustained
+// bandwidth), kept here as the single source of truth.
+func SP2Link() LinkParams {
+	return LinkParams{
+		Setup:   40e-6,
+		PerByte: 1.0 / 35e6,
+		Latency: 40e-6,
+	}
+}
+
+// Uniform reports whether every distinct pair of ranks on m shares
+// identical link constants — i.e. the network is flat, whatever the
+// concrete type (a Flat, a single-node SMPCluster, ...).  The gain/cost
+// decision uses this to keep the paper's scalar redistribution pricing
+// on uniform machines: per-pair pricing is calibrated differently, and
+// switching formulas on a network with no pair structure would change
+// accept/reject decisions for no informational gain.
+func Uniform(m Model) bool {
+	p := m.Ranks()
+	if p < 2 {
+		return true
+	}
+	ref := m.Pair(0, 1)
+	for i := 0; i < p; i++ {
+		for j := 0; j < p; j++ {
+			if i != j && m.Pair(i, j) != ref {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Names lists the topologies ByName accepts, in presentation order.
+func Names() []string { return []string{"flat", "smp", "fattree", "hetero"} }
+
+// ByName builds the named topology for a p-rank machine with the default
+// calibration: SP2 links for flat, 4-rank SMP nodes with shared-memory
+// intra-node links, a radix-4 fat tree with SP2 leaf links, and a hetero
+// machine whose second half runs at 0.5x speed.  Each call returns a
+// fresh model (fresh contention state).
+func ByName(name string, p int) (Model, error) {
+	switch name {
+	case "flat":
+		return NewFlat(p, SP2Link()), nil
+	case "smp":
+		return NewSMPCluster(p, 4, SMPIntraLink(), SP2Link()), nil
+	case "fattree":
+		return NewFatTree(p, 4, SP2Link(), 10e-6, SP2Link().PerByte), nil
+	case "hetero":
+		return NewHetero(NewFlat(p, SP2Link()), TwoGenerationSpeeds(p, 0.5)), nil
+	default:
+		return nil, fmt.Errorf("machine: unknown model %q (valid: %v)", name, Names())
+	}
+}

@@ -1,0 +1,148 @@
+package machine
+
+import "testing"
+
+func TestByName(t *testing.T) {
+	for _, name := range Names() {
+		m, err := ByName(name, 8)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if m.Name() != name {
+			t.Errorf("ByName(%q).Name() = %q", name, m.Name())
+		}
+		if m.Ranks() != 8 {
+			t.Errorf("ByName(%q).Ranks() = %d, want 8", name, m.Ranks())
+		}
+	}
+	if _, err := ByName("torus", 8); err == nil {
+		t.Error("ByName(torus) should fail")
+	}
+}
+
+func TestUniformProbe(t *testing.T) {
+	cases := []struct {
+		m    Model
+		want bool
+	}{
+		{NewFlat(8, SP2Link()), true},
+		{NewSMPCluster(8, 4, SMPIntraLink(), SP2Link()), false},
+		{NewSMPCluster(4, 4, SMPIntraLink(), SP2Link()), true}, // single node: no pair structure
+		{NewFatTree(8, 4, SP2Link(), 10e-6, SP2Link().PerByte), false},
+		{NewHetero(NewFlat(8, SP2Link()), TwoGenerationSpeeds(8, 0.5)), true}, // links uniform, speeds not
+	}
+	for _, c := range cases {
+		if got := Uniform(c.m); got != c.want {
+			t.Errorf("Uniform(%s, %d ranks) = %v, want %v", c.m.Name(), c.m.Ranks(), got, c.want)
+		}
+	}
+}
+
+func TestFlatUniform(t *testing.T) {
+	f := NewFlat(4, SP2Link())
+	want := SP2Link()
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			if got := f.Pair(i, j); got != want {
+				t.Fatalf("Pair(%d,%d) = %+v, want %+v", i, j, got, want)
+			}
+			wantHops := 1
+			if i == j {
+				wantHops = 0
+			}
+			if got := f.Hops(i, j); got != wantHops {
+				t.Errorf("Hops(%d,%d) = %d, want %d", i, j, got, wantHops)
+			}
+		}
+		if f.Speed(i) != 1 {
+			t.Errorf("Speed(%d) = %v, want 1", i, f.Speed(i))
+		}
+	}
+	if got := f.Acquire(0, 1, 1<<20, 7.5); got != 7.5 {
+		t.Errorf("flat Acquire shifted depart to %v", got)
+	}
+}
+
+func TestSMPClusterPairAndHops(t *testing.T) {
+	intra, inter := SMPIntraLink(), SP2Link()
+	m := NewSMPCluster(8, 4, intra, inter)
+	if m.Node(3) != 0 || m.Node(4) != 1 {
+		t.Fatalf("node mapping wrong: Node(3)=%d Node(4)=%d", m.Node(3), m.Node(4))
+	}
+	if got := m.Pair(0, 3); got != intra {
+		t.Errorf("intra-node pair got inter constants: %+v", got)
+	}
+	if got := m.Pair(0, 4); got != inter {
+		t.Errorf("inter-node pair got intra constants: %+v", got)
+	}
+	if m.Hops(2, 2) != 0 || m.Hops(0, 3) != 1 || m.Hops(0, 7) != 3 {
+		t.Errorf("hops = %d/%d/%d, want 0/1/3", m.Hops(2, 2), m.Hops(0, 3), m.Hops(0, 7))
+	}
+	// The whole point of the model: moving a byte within a node must be
+	// cheaper than moving it across nodes.
+	if intra.Setup+intra.PerByte >= inter.Setup+inter.PerByte {
+		t.Error("intra-node link is not cheaper than inter-node")
+	}
+}
+
+func TestFatTreeHops(t *testing.T) {
+	ft := NewFatTree(16, 4, SP2Link(), 10e-6, SP2Link().PerByte)
+	cases := []struct{ src, dst, want int }{
+		{5, 5, 0},  // self
+		{0, 3, 2},  // same leaf group: up one switch and down
+		{0, 4, 4},  // adjacent groups: two levels
+		{0, 15, 4}, // still within the 16-leaf two-level tree
+	}
+	for _, c := range cases {
+		if got := ft.Hops(c.src, c.dst); got != c.want {
+			t.Errorf("Hops(%d,%d) = %d, want %d", c.src, c.dst, got, c.want)
+		}
+	}
+	// Latency must grow with hop distance.
+	near, far := ft.Pair(0, 3), ft.Pair(0, 4)
+	if near.Latency >= far.Latency {
+		t.Errorf("near latency %v >= far latency %v", near.Latency, far.Latency)
+	}
+}
+
+func TestFatTreeContentionQueue(t *testing.T) {
+	perByte := 1e-6
+	ft := NewFatTree(8, 4, LinkParams{PerByte: perByte}, 0, perByte)
+	// Two off-group transfers from the same group back-to-back: the
+	// second serializes behind the first on the shared up-link.
+	s1 := ft.Acquire(0, 4, 1000, 0)
+	s2 := ft.Acquire(1, 5, 1000, 0)
+	if s1 != 0 {
+		t.Fatalf("first reservation should start at depart, got %v", s1)
+	}
+	if want := 1000 * perByte; s2 != want {
+		t.Fatalf("second reservation = %v, want serialized start %v", s2, want)
+	}
+	// Intra-group traffic never touches the up-link.
+	if got := ft.Acquire(2, 3, 1000, 0); got != 0 {
+		t.Errorf("intra-group transfer queued on up-link: start %v", got)
+	}
+	// Distinct groups own distinct up-links.
+	if got := ft.Acquire(4, 0, 1000, 0); got != 0 {
+		t.Errorf("other group's up-link was busy: start %v", got)
+	}
+	// Reset clears the queues.
+	ft.Reset()
+	if got := ft.Acquire(0, 4, 1000, 0); got != 0 {
+		t.Errorf("Acquire after Reset = %v, want 0", got)
+	}
+}
+
+func TestHeteroSpeeds(t *testing.T) {
+	h := NewHetero(NewFlat(4, SP2Link()), TwoGenerationSpeeds(4, 0.5))
+	wants := []float64{1, 1, 0.5, 0.5}
+	for r, want := range wants {
+		if got := h.Speed(r); got != want {
+			t.Errorf("Speed(%d) = %v, want %v", r, got, want)
+		}
+	}
+	// Network behavior delegates to the base model.
+	if h.Pair(0, 3) != SP2Link() || h.Hops(0, 3) != 1 {
+		t.Error("hetero did not delegate network model to base")
+	}
+}

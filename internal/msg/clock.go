@@ -1,5 +1,7 @@
 package msg
 
+import "plum/internal/machine"
+
 // CostModel parameterizes the simulated machine.  The values are abstract
 // seconds; the defaults below are loosely calibrated to the IBM SP2 era
 // hardware of the paper (Section 4.5 introduces Tlat, the per-word
@@ -10,24 +12,45 @@ package msg
 // curves would reflect the host, not the algorithm.  Under the model each
 // rank's clock advances by its own compute work and by communication
 // costs, and the curves recover the *shape* of the paper's figures.
+//
+// The scalar constants describe a flat machine (every pair equidistant,
+// every rank equally fast).  Installing a machine.Model in Topo replaces
+// the per-pair constants, scales compute by per-rank speed, and routes
+// transfers through the topology's contention queues; a nil Topo — or a
+// machine.Flat built from the same constants — charges bitwise-identical
+// costs (pinned by the golden regression test in internal/core).
 type CostModel struct {
 	TSetup   float64 // per-message startup cost, paid by the sender
 	TByte    float64 // per-byte injection/copy cost
 	TLatency float64 // wire latency between send completion and arrival
 	TWork    float64 // seconds per abstract compute work unit
+
+	// Topo, when non-nil, supplies per-pair costs, per-rank speeds, and
+	// link contention in place of the flat scalars above.
+	Topo machine.Model
 }
 
 // SP2Model returns cost parameters loosely calibrated to the paper's IBM
-// SP2: ~40 microsecond message startup, ~35 MB/s sustained bandwidth,
-// and a per-element compute unit chosen so that the ~61k-element mesh
-// refinement matches the order of magnitude of the paper's Fig. 6 times.
+// SP2: ~40 microsecond message startup, ~35 MB/s sustained bandwidth
+// (the machine.SP2Link constants), and a per-element compute unit chosen
+// so that the ~61k-element mesh refinement matches the order of
+// magnitude of the paper's Fig. 6 times.
 func SP2Model() *CostModel {
+	l := machine.SP2Link()
 	return &CostModel{
-		TSetup:   40e-6,
-		TByte:    1.0 / 35e6,
-		TLatency: 40e-6,
+		TSetup:   l.Setup,
+		TByte:    l.PerByte,
+		TLatency: l.Latency,
 		TWork:    1.8e-6,
 	}
+}
+
+// WithTopo returns a copy of the model with the given topology
+// installed; the receiver is not modified.
+func (m *CostModel) WithTopo(t machine.Model) *CostModel {
+	out := *m
+	out.Topo = t
+	return &out
 }
 
 // Clock is one rank's simulated time.

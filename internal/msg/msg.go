@@ -15,7 +15,10 @@
 // (they never block), receives block until a matching message (by source
 // and tag) arrives.  Message order between a fixed (source, destination,
 // tag) triple is FIFO, which makes every algorithm built on this package
-// deterministic.
+// deterministic.  Simulated times are bitwise reproducible too, with one
+// exception: topologies that model shared-link contention (the fat
+// tree's up-link queues) reserve links in goroutine-scheduling order, so
+// contended timings are approximately — not bitwise — reproducible.
 package msg
 
 import (
@@ -157,10 +160,18 @@ func (c *Comm) Clock() *Clock { return &c.clock }
 func (c *Comm) Elapsed() float64 { return c.clock.Now }
 
 // Compute advances this rank's simulated clock by the cost of `units`
-// abstract work units under the installed cost model.
+// abstract work units under the installed cost model.  On a
+// heterogeneous machine the charge is scaled by the rank's relative
+// speed (half-speed processors take twice as long).
 func (c *Comm) Compute(units float64) {
 	if m := c.world.model; m != nil {
-		c.clock.Now += units * m.TWork
+		t := units * m.TWork
+		if m.Topo != nil {
+			if s := m.Topo.Speed(c.rank); s != 1 {
+				t /= s
+			}
+		}
+		c.clock.Now += t
 	}
 }
 
@@ -178,9 +189,20 @@ func (c *Comm) Send(dst, tag int, data []byte) {
 	m := &Message{Src: c.rank, Tag: tag, Data: buf}
 	if mod := c.world.model; mod != nil {
 		// Sender pays the per-message setup plus per-byte injection cost;
-		// the message arrives after the wire latency.
-		c.clock.Now += mod.TSetup + float64(len(data))*mod.TByte
-		m.arrival = c.clock.Now + mod.TLatency
+		// the message arrives after the wire latency.  With a topology
+		// installed the constants are per-pair and the transfer may queue
+		// on shared links (fat-tree up-link contention) before injection.
+		setup, perByte, latency := mod.TSetup, mod.TByte, mod.TLatency
+		if mod.Topo != nil {
+			lp := mod.Topo.Pair(c.rank, dst)
+			setup, perByte, latency = lp.Setup, lp.PerByte, lp.Latency
+		}
+		c.clock.Now += setup + float64(len(data))*perByte
+		depart := c.clock.Now
+		if mod.Topo != nil {
+			depart = mod.Topo.Acquire(c.rank, dst, len(data), depart)
+		}
+		m.arrival = depart + latency
 	}
 	c.world.boxes[dst].put(m)
 }
@@ -199,7 +221,12 @@ func (c *Comm) Recv(src, tag int) *Message {
 		if m.arrival > c.clock.Now {
 			c.clock.Now = m.arrival
 		}
-		c.clock.Now += mod.TSetup + float64(len(m.Data))*mod.TByte
+		setup, perByte := mod.TSetup, mod.TByte
+		if mod.Topo != nil {
+			lp := mod.Topo.Pair(m.Src, c.rank)
+			setup, perByte = lp.Setup, lp.PerByte
+		}
+		c.clock.Now += setup + float64(len(m.Data))*perByte
 	}
 	return m
 }
@@ -216,6 +243,13 @@ func Run(p int, fn func(*Comm)) {
 func RunModel(p int, model *CostModel, fn func(*Comm)) []float64 {
 	if p <= 0 {
 		panic("msg: world size must be positive")
+	}
+	if model != nil && model.Topo != nil {
+		if model.Topo.Ranks() < p {
+			panic(fmt.Sprintf("msg: topology models %d ranks, world needs %d", model.Topo.Ranks(), p))
+		}
+		// Fresh contention state per run so a model can be reused.
+		model.Topo.Reset()
 	}
 	w := &World{size: p, boxes: make([]*mailbox, p), model: model}
 	for i := range w.boxes {

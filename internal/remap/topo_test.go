@@ -1,0 +1,165 @@
+package remap
+
+import (
+	"testing"
+
+	"plum/internal/machine"
+)
+
+// smp4x2 is a 2-node SMP cluster of 4 ranks (nodes {0,1} and {2,3}).
+func smp4x2() machine.Model {
+	return machine.NewSMPCluster(4, 2, machine.SMPIntraLink(), machine.SP2Link())
+}
+
+func TestHopWeightedCostByHand(t *testing.T) {
+	// P=2 flat machine: hops are 0 (retained) or 1 (moved), so the
+	// hop-weighted metrics collapse to the plain ones.
+	s := NewSimilarity(2, 1)
+	s.S[0] = []int64{5, 7}
+	s.S[1] = []int64{3, 2}
+	m := machine.NewFlat(2, machine.SP2Link())
+	assign := []int32{1, 0} // everything moves
+	hc := HopWeightedCost(s, assign, m)
+	mc := Cost(s, assign)
+	if hc.TotalHV != mc.CTotal || hc.MaxHV != mc.CMax {
+		t.Errorf("flat hop metrics (%d, %d) != plain metrics (%d, %d)",
+			hc.TotalHV, hc.MaxHV, mc.CTotal, mc.CMax)
+	}
+
+	// SMP: the same movement now costs 1 hop within a node, 3 across.
+	smp := smp4x2()
+	s2 := NewSimilarity(4, 1)
+	s2.S[0] = []int64{0, 10, 0, 0} // p0 holds partition 1's data
+	s2.S[1] = []int64{20, 0, 0, 0}
+	s2.S[2] = []int64{0, 0, 0, 30} // p2 holds partition 3's data
+	s2.S[3] = []int64{0, 0, 40, 0}
+	assign2 := []int32{0, 1, 2, 3} // identity: 1<->0 swap intra, 3<->2 swap intra
+	hc2 := HopWeightedCost(s2, assign2, smp)
+	// All four transfers stay within a node: hop weight = plain weight.
+	if hc2.TotalHV != 100 {
+		t.Errorf("intra-node TotalHV = %d, want 100", hc2.TotalHV)
+	}
+	cross := []int32{2, 3, 0, 1} // force every transfer across nodes
+	hc3 := HopWeightedCost(s2, cross, smp)
+	if hc3.TotalHV != 300 {
+		t.Errorf("inter-node TotalHV = %d, want 300 (3 hops x 100)", hc3.TotalHV)
+	}
+}
+
+// TestTopoAssignPrefersIntraNode: with equal plain weight either
+// processor of a pair could take a partition, but only one choice keeps
+// the movement inside a node.  The hop-oblivious mappers cannot see the
+// difference; MapTopo must.
+func TestTopoAssignPrefersIntraNode(t *testing.T) {
+	smp := smp4x2()
+	s := NewSimilarity(4, 1)
+	// Partition j's weight lives mostly on processor j (diagonal), but
+	// partition 0 has a secondary block on p1 (same node) and p2 (other
+	// node) of equal size, and symmetrically for partition 2.  An
+	// assignment that swaps 0<->2 moves everything across nodes; the
+	// identity retains the diagonals.
+	s.S[0] = []int64{100, 0, 0, 0}
+	s.S[1] = []int64{50, 100, 0, 0}
+	s.S[2] = []int64{50, 0, 100, 0}
+	s.S[3] = []int64{0, 0, 50, 100}
+	assign := TopoAssign(s, smp)
+	if err := s.CheckAssignment(assign); err != nil {
+		t.Fatal(err)
+	}
+	hcTopo := HopWeightedCost(s, assign, smp)
+	hcHeu := HopWeightedCost(s, HeuristicMWBG(s), smp)
+	if hcTopo.MaxHV > hcHeu.MaxHV {
+		t.Errorf("TopoAssign MaxHV %d worse than heuristic %d", hcTopo.MaxHV, hcHeu.MaxHV)
+	}
+	// The identity assignment retains all diagonals and moves the three
+	// off-diagonal 50s: partition 0's blocks travel 1 hop (from p1, same
+	// node) and 3 hops (from p2, other node), partition 2's block 1 hop
+	// (from p3).  TotalHV = 50 + 150 + 50.
+	if got := HopWeightedCost(s, []int32{0, 1, 2, 3}, smp).TotalHV; got != 250 {
+		t.Fatalf("hand-computed identity TotalHV = %d, want 250", got)
+	}
+}
+
+// TestTopoAssignNeverWorseThanHeuristic: the guarantee that makes
+// MapTopo safe to use by default on any topology — randomized matrices,
+// lexicographic (MaxHV, TotalHV) comparison.
+func TestTopoAssignNeverWorseThanHeuristic(t *testing.T) {
+	// Small deterministic LCG so the test needs no seed plumbing.
+	state := uint64(12345)
+	rnd := func(n int64) int64 {
+		state = state*6364136223846793005 + 1442695040888963407
+		return int64(state>>33) % n
+	}
+	for _, model := range []machine.Model{
+		smp4x2(),
+		machine.NewSMPCluster(8, 4, machine.SMPIntraLink(), machine.SP2Link()),
+		machine.NewFatTree(8, 2, machine.SP2Link(), 10e-6, machine.SP2Link().PerByte),
+	} {
+		p := model.Ranks()
+		for trial := 0; trial < 25; trial++ {
+			s := NewSimilarity(p, 1)
+			for i := 0; i < p; i++ {
+				for j := 0; j < p; j++ {
+					if rnd(3) > 0 {
+						s.S[i][j] = rnd(1000)
+					}
+				}
+			}
+			assign := TopoAssign(s, model)
+			if err := s.CheckAssignment(assign); err != nil {
+				t.Fatalf("%s trial %d: %v", model.Name(), trial, err)
+			}
+			ht := HopWeightedCost(s, assign, model)
+			hh := HopWeightedCost(s, HeuristicMWBG(s), model)
+			if ht.MaxHV > hh.MaxHV || (ht.MaxHV == hh.MaxHV && ht.TotalHV > hh.TotalHV) {
+				t.Errorf("%s trial %d: TopoAssign (%d,%d) worse than heuristic (%d,%d)",
+					model.Name(), trial, ht.MaxHV, ht.TotalHV, hh.MaxHV, hh.TotalHV)
+			}
+		}
+	}
+}
+
+// TestHopDiscountedFlatEquivalence: on a flat machine the derived matrix
+// is an affine transform of S per column, so the hop-discounted optimum
+// retains exactly as much weight as OptimalMWBG.
+func TestHopDiscountedFlatEquivalence(t *testing.T) {
+	flat := machine.NewFlat(4, machine.SP2Link())
+	s := NewSimilarity(4, 1)
+	s.S[0] = []int64{100, 90, 0, 0}
+	s.S[1] = []int64{95, 0, 0, 0}
+	s.S[2] = []int64{0, 85, 120, 30}
+	s.S[3] = []int64{0, 0, 110, 25}
+	topo := TopoMWBG(s, flat)
+	opt := OptimalMWBG(s)
+	if got, want := s.Objective(topo), s.Objective(opt); got != want {
+		t.Errorf("flat-machine TopoMWBG objective %d != OptimalMWBG %d", got, want)
+	}
+}
+
+func TestRedistributionCostTopo(t *testing.T) {
+	smp := smp4x2()
+	mach := SP2Machine()
+	s := NewSimilarity(4, 1)
+	s.S[0] = []int64{0, 100, 0, 0}
+	s.S[1] = []int64{100, 0, 0, 0}
+	s.S[2] = []int64{0, 0, 0, 100}
+	s.S[3] = []int64{0, 0, 100, 0}
+	intra := []int32{0, 1, 2, 3} // swaps stay within nodes
+	cross := []int32{2, 3, 0, 1} // swaps cross nodes
+	for _, metric := range []Metric{TotalV, MaxV} {
+		ci := RedistributionCostTopo(metric, s, intra, mach, smp)
+		cc := RedistributionCostTopo(metric, s, cross, mach, smp)
+		if ci <= 0 || cc <= 0 {
+			t.Fatalf("%v: non-positive costs %v, %v", metric, ci, cc)
+		}
+		if ci >= cc {
+			t.Errorf("%v: intra-node redistribution %v not cheaper than inter-node %v", metric, ci, cc)
+		}
+	}
+	// TotalV counts each transfer once; MaxV bounds it by the busiest
+	// rank, so TotalV >= MaxV on any assignment with >1 active rank.
+	if tot, max := RedistributionCostTopo(TotalV, s, cross, mach, smp),
+		RedistributionCostTopo(MaxV, s, cross, mach, smp); tot < max {
+		t.Errorf("TotalV %v < MaxV %v", tot, max)
+	}
+}
