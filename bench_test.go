@@ -11,6 +11,7 @@ import (
 	"plum/internal/adapt"
 	"plum/internal/core"
 	"plum/internal/dual"
+	"plum/internal/event"
 	"plum/internal/linalg"
 	"plum/internal/machine"
 	"plum/internal/mesh"
@@ -494,3 +495,116 @@ var (
 	benchSinkFloat float64
 	benchSinkInt   int
 )
+
+// ---------------------------------------------------------------------
+// Event-engine benchmarks: the calendar queue is touched on every yield,
+// block, and wake of every simulated rank, and critical-path extraction
+// runs over full traces after every traced experiment.  Future engine
+// changes must keep both flat.
+
+// BenchmarkEventQueue measures calendar push/pop at engine-realistic
+// populations (one entry per live rank).
+func BenchmarkEventQueue(b *testing.B) {
+	for _, p := range []int{8, 64, 1024} {
+		b.Run("P="+itoa(p), func(b *testing.B) {
+			var c event.Calendar
+			for i := 0; i < p; i++ {
+				c.Push(event.Entry{Time: float64((i * 37) % 101), ID: i, Seq: int64(i)})
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e := c.Pop()
+				e.Time += float64((i % 13)) * 0.25
+				e.Seq = int64(p + i)
+				c.Push(e)
+			}
+			benchSinkInt = c.Len()
+		})
+	}
+}
+
+// syntheticTrace builds a ring-shaped trace: each rank computes, sends
+// to its right neighbour, and waits on its left — every receive waits on
+// the wire, so the critical path zigzags across ranks (the worst case
+// for the walk).
+func syntheticTrace(p, rounds int) *event.Trace {
+	tr := &event.Trace{P: p}
+	clock := make([]float64, p)
+	var msgid int64
+	for round := 0; round < rounds; round++ {
+		arrivals := make([]float64, p)
+		ids := make([]int64, p)
+		for r := 0; r < p; r++ {
+			t0 := clock[r]
+			clock[r] += 1 + float64(r%3)
+			tr.Add(event.Record{Rank: r, Kind: event.KindCompute, T0: t0, T1: clock[r], Peer: -1})
+			msgid++
+			ids[r] = msgid
+			tr.Add(event.Record{Rank: r, Kind: event.KindSend, T0: clock[r], T1: clock[r] + 0.5,
+				Peer: (r + 1) % p, Bytes: 64, MsgID: msgid})
+			clock[r] += 0.5
+			arrivals[r] = clock[r] + 2
+		}
+		for r := 0; r < p; r++ {
+			left := (r + p - 1) % p
+			t0 := clock[r]
+			end := arrivals[left]
+			if end < t0 {
+				end = t0
+			}
+			end += 0.5
+			tr.Add(event.Record{Rank: r, Kind: event.KindRecv, T0: t0, T1: end,
+				Peer: left, Bytes: 64, MsgID: ids[left], Arrival: arrivals[left]})
+			clock[r] = end
+		}
+	}
+	return tr
+}
+
+// BenchmarkCriticalPath measures extraction over traces of growing size.
+func BenchmarkCriticalPath(b *testing.B) {
+	for _, rounds := range []int{10, 100} {
+		tr := syntheticTrace(8, rounds)
+		b.Run("records="+itoa(len(tr.Records)), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p := event.CriticalPath(tr)
+				benchSinkFloat = p.Makespan
+			}
+		})
+	}
+}
+
+// BenchmarkTracedRunOverhead measures what tracing costs on a real
+// simulated workload (an 8-rank allreduce+compute loop), against the
+// untraced engine.
+func BenchmarkTracedRunOverhead(b *testing.B) {
+	body := func(c *msg.Comm) {
+		for i := 0; i < 50; i++ {
+			c.Compute(100)
+			c.AllreduceFloat64(float64(c.Rank()), msg.SumFloat64)
+		}
+	}
+	b.Run("untraced", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			msg.RunModel(8, msg.SP2Model(), body)
+		}
+	})
+	b.Run("traced", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_, tr := msg.RunTraced(8, msg.SP2Model(), body)
+			benchSinkInt = len(tr.Records)
+		}
+	})
+}
+
+// BenchmarkOverlapPCG measures the simulated-time benefit of the halo
+// overlap end to end: one two-mode implicit PCG comparison on the SMP
+// cluster per iteration, reporting both critical paths as metrics.
+func BenchmarkOverlapPCG(b *testing.B) {
+	e := core.NewExperiments(false)
+	for i := 0; i < b.N; i++ {
+		rows := e.OverlapComparison(8, []string{"smp"})
+		b.ReportMetric(rows[0].CPBlocking, "sim-cp-blocking-s")
+		b.ReportMetric(rows[0].CPOverlap, "sim-cp-overlapped-s")
+	}
+}

@@ -3,20 +3,25 @@
 //
 // Usage:
 //
-//	plumbench [-paper] [-model flat|smp|fattree|hetero]
+//	plumbench [-paper] [-model flat|smp|fattree|hetero] [-trace file.json]
 //	          [-exp all|table1|table2|fig2|fig4|fig5|fig6|fig7|fig8|implicit|machine]
 //
 // The implicit experiment goes beyond the paper: it drives the
 // solve->adapt->balance cycle with a preconditioned-CG workload
 // (internal/linalg) whose per-iteration halo exchanges and reductions
 // make the partition-quality metrics directly observable as simulated
-// communication time.  The machine experiment (internal/machine) also
+// communication time, and compares the blocking halo exchange against
+// the split-SpMV comm/compute overlap per topology (critical path from
+// the event trace).  The machine experiment (internal/machine) also
 // goes beyond the paper: it re-runs the rebalancing comparison on
 // non-flat topologies (SMP cluster, fat tree, heterogeneous processors)
 // and compares the hop-oblivious mapper against the topology-aware
 // MapTopo.  -model selects a topology for every other experiment too;
 // omitting it keeps the paper's uniform SP2 (bitwise-pinned by the
-// golden regression test).
+// golden regression test).  -trace writes the overlapped implicit
+// step's event timeline as Chrome-tracing JSON (chrome://tracing,
+// ui.perfetto.dev), with message flow arrows from every send to the
+// receive that consumed it.
 //
 // By default a reduced-scale mesh (~4k elements, P up to 16) reproduces
 // the qualitative shapes in seconds; -paper switches to the
@@ -35,6 +40,7 @@ import (
 	"strings"
 
 	"plum/internal/core"
+	"plum/internal/event"
 	"plum/internal/machine"
 	"plum/internal/report"
 	"plum/internal/solver"
@@ -58,6 +64,8 @@ func main() {
 	exp := flag.String("exp", "all", "experiment to run: "+strings.Join(validExps, ", "))
 	model := flag.String("model", "", "machine topology for all experiments: "+
 		strings.Join(machine.Names(), ", ")+" (default: uniform SP2)")
+	trace := flag.String("trace", "", "write Chrome-tracing JSON of the implicit-step event"+
+		" timeline to this file (requires -exp all or implicit)")
 	flag.Parse()
 
 	if flag.NArg() > 0 {
@@ -72,6 +80,9 @@ func main() {
 	}
 	if !expOK {
 		usageError("unknown -exp value %q", *exp)
+	}
+	if *trace != "" && *exp != "all" && *exp != "implicit" {
+		usageError("-trace records the implicit-step timeline; it requires -exp all or implicit, not %q", *exp)
 	}
 
 	e := core.NewExperiments(*paper)
@@ -127,7 +138,7 @@ func main() {
 		fig8(w, e, needScaling())
 	}
 	if run("implicit") {
-		implicitExp(w, e)
+		implicitExp(w, e, *trace)
 	}
 	if run("machine") {
 		machineExp(w, e)
@@ -166,7 +177,7 @@ func machineExp(w *os.File, e *core.Experiments) {
 	fmt.Fprintln(w)
 }
 
-func implicitExp(w *os.File, e *core.Experiments) {
+func implicitExp(w *os.File, e *core.Experiments, tracePath string) {
 	fmt.Fprintln(w, "running the implicit workload (PCG on the adapted mesh, 2 cycles x P sweep)...")
 	rows := e.ImplicitScaling(2)
 	t := report.NewTable("Implicit workload: PCG-backed solve->adapt->balance cycle",
@@ -203,6 +214,50 @@ func implicitExp(w *os.File, e *core.Experiments) {
 		" unpreconditioned CG at negligible cost (cf. Jia & Zhang on SPAI-class"+
 		" preconditioning for irregular sparse systems)")
 	fmt.Fprintln(w)
+
+	fmt.Fprintf(w, "comm/compute overlap at P=%d (blocking vs split-SpMV halo overlap, per topology)...\n", p)
+	ov := e.OverlapComparison(p, machine.Names())
+	ot := report.NewTable("Overlap: simulated critical path, blocking vs overlapped PCG",
+		"Model", "PCG iters", "CP block(s)", "CP overlap(s)", "speedup",
+		"wait block(s)", "wait overlap(s)")
+	for _, r := range ov {
+		ot.AddRow(r.Model, r.Iters,
+			fmt.Sprintf("%.4f", r.CPBlocking), fmt.Sprintf("%.4f", r.CPOverlap),
+			fmt.Sprintf("%.3fx", r.Speedup()),
+			fmt.Sprintf("%.4f", r.WaitBlocking), fmt.Sprintf("%.4f", r.WaitOverlap))
+	}
+	ot.Render(w)
+	fmt.Fprintln(w, "shape: iterates are bitwise identical in both modes; overlap pays where"+
+		" wire/contention time survives the per-message software overhead (smp inter-node"+
+		" links, the tapered fat tree's up-links) and is honestly a no-op on the flat SP2,"+
+		" whose halo arrivals always beat the receiver's own injection+copy timeline")
+	fmt.Fprintln(w)
+
+	if tracePath != "" {
+		// The overlapped run of the selected model was just traced by the
+		// comparison above; export that trace instead of repeating the
+		// (deterministic, identical) simulation.
+		selected := e.ModelName
+		if selected == "" {
+			selected = "flat"
+		}
+		var tr *event.Trace
+		for _, r := range ov {
+			if r.Model == selected {
+				tr = r.TraceOverlapped
+				break
+			}
+		}
+		if tr == nil {
+			tr = e.TraceImplicitStep(p, true)
+		}
+		if err := tr.WriteChromeFile(tracePath); err != nil {
+			fmt.Fprintf(os.Stderr, "plumbench: -trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(w, "wrote %s (%d events; open in chrome://tracing or ui.perfetto.dev)\n\n",
+			tracePath, len(tr.Records))
+	}
 }
 
 func table1(w *os.File, e *core.Experiments) {

@@ -3,9 +3,13 @@
 // adaption cycle on the synthetic rotor-stand-in problem, finalizes the
 // distributed mesh into a single global grid (paper Section 3's
 // finalization phase), and writes it with the solution and ownership
-// painted on.
+// painted on.  With -trace the same run's simulated event timeline —
+// every compute span, message injection, and receive wait of every rank
+// — is exported as Chrome-tracing JSON (chrome://tracing,
+// ui.perfetto.dev), the visual counterpart of the VTK mesh: the mesh
+// shows where the work lives, the trace shows when each rank did it.
 //
-// Usage: plumviz [-p procs] [-frac f] [-o out.vtk]
+// Usage: plumviz [-p procs] [-frac f] [-o out.vtk] [-trace out.json]
 package main
 
 import (
@@ -17,6 +21,7 @@ import (
 	"plum/internal/adapt"
 	"plum/internal/core"
 	"plum/internal/dual"
+	"plum/internal/event"
 	"plum/internal/mesh"
 	"plum/internal/msg"
 	"plum/internal/partition"
@@ -28,6 +33,7 @@ func main() {
 	p := flag.Int("p", 8, "simulated processors")
 	frac := flag.Float64("frac", 0.2, "fraction of edges to refine")
 	out := flag.String("o", "plum.vtk", "output VTK file")
+	tracePath := flag.String("trace", "", "also write the run's event timeline as Chrome-tracing JSON")
 	flag.Parse()
 
 	global := mesh.Box(16, 12, 8, 4.0, 3.0, 2.0)
@@ -36,8 +42,17 @@ func main() {
 	ind := adapt.ShockCylinderIndicator(mesh.Vec3{2.0, 1.5, 0}, mesh.Vec3{0, 0, 1}, 0.9, 0.4)
 	cfg := core.DefaultConfig()
 
+	// Event recording costs memory proportional to the run; only pay it
+	// when the timeline was actually requested.
+	run := func(fn func(*msg.Comm)) ([]float64, *event.Trace) {
+		if *tracePath == "" {
+			return msg.RunModel(*p, msg.SP2Model(), fn), nil
+		}
+		return msg.RunTraced(*p, msg.SP2Model(), fn)
+	}
+
 	var failed error
-	msg.RunModel(*p, msg.SP2Model(), func(c *msg.Comm) {
+	times, trace := run(func(c *msg.Comm) {
 		d := pmesh.New(c, global, initPart, solver.NComp)
 		ps := solver.NewParallel(d)
 		ps.InitParallel(solver.GaussianPulse(mesh.Vec3{2, 1.5, 1}, 0.6))
@@ -67,5 +82,13 @@ func main() {
 	})
 	if failed != nil {
 		log.Fatal(failed)
+	}
+	if *tracePath != "" {
+		if err := trace.WriteChromeFile(*tracePath); err != nil {
+			log.Fatal(err)
+		}
+		cp := event.CriticalPath(trace)
+		fmt.Printf("wrote %s (%d events, makespan %.4fs: %.4fs compute, %.4fs overhead, %.4fs comm wait on the critical path)\n",
+			*tracePath, len(trace.Records), msg.MaxTime(times), cp.Compute, cp.Overhead, cp.CommWait)
 	}
 }

@@ -1,0 +1,72 @@
+// Comm/compute overlap: what the event engine buys.
+//
+// The implicit workload's hot loop is a halo-exchange SpMV.  The
+// blocking version ships the boundary values, waits, then computes all
+// rows; the overlapped version posts the exchange nonblocking
+// (Isend/Irecv), computes the interior rows — those touching no ghost
+// column — while the messages are in flight, and only the boundary rows
+// wait.  Both versions do bitwise-identical arithmetic (same per-row
+// kernel, exact reductions), so the PCG iterates agree to the last bit;
+// what changes is the simulated critical path, which this example
+// extracts from the event trace per machine topology.
+//
+// The honest result: on the paper's flat SP2 the per-message software
+// overhead (~40us setup + per-byte copy on both ends) dominates, halo
+// arrivals always beat the receiver's own injection+copy timeline, and
+// overlap buys nothing.  Where wire or shared-link time survives the
+// overhead — the SMP cluster's inter-node links, the tapered fat tree's
+// oversubscribed up-links — the comm wait on the critical path shrinks
+// and the solve gets strictly faster.
+//
+// Run with: go run ./examples/overlap
+package main
+
+import (
+	"fmt"
+
+	"plum/internal/core"
+	"plum/internal/event"
+	"plum/internal/machine"
+)
+
+const p = 8 // simulated processors
+
+func main() {
+	e := core.NewExperiments(false)
+
+	fmt.Printf("blocking vs overlapped PCG on %d simulated processors (one implicit step):\n\n", p)
+	fmt.Printf("  %-8s %9s  %22s  %22s  %8s\n", "model", "PCG iters",
+		"critical path (s)", "comm wait on path (s)", "speedup")
+	fmt.Printf("  %-8s %9s  %10s %11s  %10s %11s\n", "", "",
+		"blocking", "overlapped", "blocking", "overlapped")
+	for _, r := range e.OverlapComparison(p, machine.Names()) {
+		fmt.Printf("  %-8s %9d  %10.4f %11.4f  %10.4f %11.4f  %7.3fx\n",
+			r.Model, r.Iters, r.CPBlocking, r.CPOverlap,
+			r.WaitBlocking, r.WaitOverlap, r.Speedup())
+	}
+	fmt.Println("\n  (iterates are bitwise identical in both modes; only the schedule moves)")
+
+	// Break the fat tree's overlapped run down along its critical path
+	// and export the timeline for chrome://tracing / ui.perfetto.dev.
+	if err := e.UseMachine("fattree"); err != nil {
+		panic(err)
+	}
+	tr := e.TraceImplicitStep(p, true)
+	cp := event.CriticalPath(tr)
+	fmt.Printf("\nfattree overlapped run, critical path (ends on rank %d at %.4fs):\n", cp.EndRank, cp.Makespan)
+	fmt.Printf("  compute %.4fs | message overhead %.4fs | comm wait %.4fs\n",
+		cp.Compute, cp.Overhead, cp.CommWait)
+	kinds := make(map[event.Kind]int)
+	for _, s := range cp.Steps {
+		kinds[s.Kind]++
+	}
+	fmt.Printf("  %d path steps: %d compute, %d send, %d recv\n",
+		len(cp.Steps), kinds[event.KindCompute], kinds[event.KindSend], kinds[event.KindRecv])
+
+	const out = "overlap-trace.json"
+	if err := tr.WriteChromeFile(out); err != nil {
+		panic(err)
+	}
+	fmt.Printf("\nwrote %s (%d events) — open it in chrome://tracing or ui.perfetto.dev\n",
+		out, len(tr.Records))
+}

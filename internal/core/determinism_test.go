@@ -1,0 +1,65 @@
+package core
+
+import (
+	"runtime"
+	"testing"
+)
+
+// Regression for the event engine's deterministic reservation pass: the
+// fat tree's shared up-links used to reserve in goroutine-scheduling
+// order, making contended timings only approximately reproducible (the
+// caveat the old msg package documented).  Now every reservation is
+// processed in (time, rank, seq) order by the engine, so two runs must
+// agree bitwise — whatever GOMAXPROCS is, and under -race (CI runs this
+// package with -race in the determinism job).
+
+// fatTreeStep runs the full Real_2 remap-before adaption step on the
+// fat tree and returns its simulated phase times.
+func fatTreeStep(t *testing.T, p int) StepStats {
+	t.Helper()
+	e := NewExperiments(false)
+	if err := e.UseMachine("fattree"); err != nil {
+		t.Fatal(err)
+	}
+	return e.RunStep(p, 0.33, true, MapHeuristic)
+}
+
+func requireIdenticalStats(t *testing.T, label string, a, b StepStats) {
+	t.Helper()
+	pairs := []struct {
+		name string
+		x, y float64
+	}{
+		{"MarkTime", a.MarkTime, b.MarkTime},
+		{"PartitionTime", a.PartitionTime, b.PartitionTime},
+		{"ReassignTime", a.ReassignTime, b.ReassignTime},
+		{"RemapTime", a.RemapTime, b.RemapTime},
+		{"RefineTime", a.RefineTime, b.RefineTime},
+	}
+	for _, c := range pairs {
+		if c.x != c.y {
+			t.Errorf("%s: %s = %x vs %x (must be bitwise identical)", label, c.name, c.x, c.y)
+		}
+	}
+	if a.Counts != b.Counts || a.Moved != b.Moved {
+		t.Errorf("%s: step outcomes diverged: %+v vs %+v", label, a, b)
+	}
+}
+
+// TestFatTreeDeterministicAcrossGOMAXPROCS: contended fat-tree timings
+// are a pure function of the program — the host's parallelism must not
+// reach the simulated clocks.
+func TestFatTreeDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	old := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(old)
+	serial := fatTreeStep(t, 8)
+	runtime.GOMAXPROCS(8)
+	parallel := fatTreeStep(t, 8)
+	requireIdenticalStats(t, "gomaxprocs 1 vs 8", serial, parallel)
+}
+
+// TestFatTreeDeterministicRepeat: back-to-back runs with fresh machine
+// instances agree bitwise (fresh contention state per run).
+func TestFatTreeDeterministicRepeat(t *testing.T) {
+	requireIdenticalStats(t, "repeat", fatTreeStep(t, 8), fatTreeStep(t, 8))
+}

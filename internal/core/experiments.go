@@ -32,16 +32,17 @@ type Experiments struct {
 
 // UseMachine selects the named machine topology for all subsequent
 // experiment runs.  The empty name restores the uniform (flat-scalar)
-// machine — the exact pre-machine-layer cost path.
+// machine — the exact pre-machine-layer cost path.  Cached initial
+// partitions are discarded: a heterogeneous machine partitions with
+// speed-scaled target loads, so partitions are machine-specific.
 func (e *Experiments) UseMachine(name string) error {
-	if name == "" {
-		e.ModelName = ""
-		return nil
-	}
-	if _, err := machine.ByName(name, 2); err != nil {
-		return err
+	if name != "" {
+		if _, err := machine.ByName(name, 2); err != nil {
+			return err
+		}
 	}
 	e.ModelName = name
+	e.initParts = make(map[int][]int32)
 	return nil
 }
 
@@ -107,12 +108,23 @@ func (e *Experiments) Indicator() func(mesh.Vec3) float64 {
 }
 
 // initialPartition returns (and caches) the initial P-way partition of
-// the dual graph — the "Partitioning + Mapping" initialization of Fig. 1.
+// the dual graph — the "Partitioning + Mapping" initialization of
+// Fig. 1.  On a heterogeneous machine the per-part targets scale with
+// rank speed (part j is rank j's initial subdomain), so slow processors
+// start with proportionally smaller subdomains.
 func (e *Experiments) initialPartition(p int) []int32 {
 	if part, ok := e.initParts[p]; ok {
 		return part
 	}
-	part := partition.Partition(e.Dual, p, e.Cfg.PartOpts)
+	opt := e.Cfg.PartOpts
+	if e.ModelName != "" {
+		topo, err := machine.ByName(e.ModelName, p)
+		if err != nil {
+			panic(err) // unreachable: UseMachine validated the name
+		}
+		opt.TargetShares = machine.SpeedShares(topo, p)
+	}
+	part := partition.Partition(e.Dual, p, opt)
 	e.initParts[p] = part
 	return part
 }

@@ -93,9 +93,22 @@ func AdaptionStep(c *msg.Comm, d *pmesh.DistMesh, g *dual.Graph,
 		return st
 	}
 
-	// --- Parallel repartitioning on the dual graph.
+	// --- Parallel repartitioning on the dual graph.  On a heterogeneous
+	// machine the per-part target loads scale with processor speed (the
+	// hetero-aware balancing); SpeedShares is nil on homogeneous
+	// machines, keeping the paper's equal targets.  The part j -> rank
+	// j%P association relies on the repartitioner seeding part ids from
+	// the current owners and the similarity mapper favouring the
+	// identity assignment (it maximizes retained data); a mapper that
+	// trades a part across generations can still land a slow-sized part
+	// on a fast rank — pricing shares through the mapper's actual
+	// assignment is a recorded ROADMAP follow-up.
 	g.SetWeights(wc, wr)
-	pr := partition.ParallelRepartition(c, g, c.Size()*cfg.F, d.RootOwner, cfg.PartOpts)
+	popt := cfg.PartOpts
+	if cfg.Topo != nil && popt.TargetShares == nil {
+		popt.TargetShares = machine.SpeedShares(cfg.Topo, c.Size()*cfg.F)
+	}
+	pr := partition.ParallelRepartition(c, g, c.Size()*cfg.F, d.RootOwner, popt)
 	newPart := pr.Part
 	st.PartitionTime = timer.Lap()
 

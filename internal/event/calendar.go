@@ -1,0 +1,88 @@
+package event
+
+// Entry is one scheduled wake-up in the engine's pending-event set.
+// The triple (Time, ID, Seq) totally orders events: simulated time
+// first, then process id, then insertion sequence — so simultaneous
+// events resolve to the lower rank and re-insertions stay FIFO.
+type Entry struct {
+	Time float64 // simulated seconds
+	ID   int     // process (rank) the entry resumes
+	Seq  int64   // insertion sequence, engine-global
+}
+
+// Before reports whether a orders strictly before b under the engine's
+// total order.
+func (a Entry) Before(b Entry) bool {
+	if a.Time != b.Time {
+		return a.Time < b.Time
+	}
+	if a.ID != b.ID {
+		return a.ID < b.ID
+	}
+	return a.Seq < b.Seq
+}
+
+// Calendar is the engine's pending-event queue ("calendar" in the
+// discrete-event-simulation sense).  The engine holds at most one entry
+// per live process, so the population is bounded by the world size and
+// a binary heap — O(log P) push/pop with no bucket tuning — beats a
+// bucketed calendar queue; the type keeps the classical name and an
+// interface a bucketed implementation could slot into.  The zero value
+// is an empty queue.
+type Calendar struct {
+	h []Entry
+}
+
+// Len returns the number of pending entries.
+func (c *Calendar) Len() int { return len(c.h) }
+
+// Push inserts an entry.
+func (c *Calendar) Push(e Entry) {
+	c.h = append(c.h, e)
+	i := len(c.h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !c.h[i].Before(c.h[parent]) {
+			break
+		}
+		c.h[i], c.h[parent] = c.h[parent], c.h[i]
+		i = parent
+	}
+}
+
+// Pop removes and returns the smallest entry.  It panics on an empty
+// calendar.
+func (c *Calendar) Pop() Entry {
+	if len(c.h) == 0 {
+		panic("event: pop from empty calendar")
+	}
+	top := c.h[0]
+	last := len(c.h) - 1
+	c.h[0] = c.h[last]
+	c.h = c.h[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(c.h) && c.h[l].Before(c.h[smallest]) {
+			smallest = l
+		}
+		if r < len(c.h) && c.h[r].Before(c.h[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			return top
+		}
+		c.h[i], c.h[smallest] = c.h[smallest], c.h[i]
+		i = smallest
+	}
+}
+
+// Min returns the smallest entry without removing it.  It panics on an
+// empty calendar.
+func (c *Calendar) Min() Entry {
+	if len(c.h) == 0 {
+		panic("event: min of empty calendar")
+	}
+	return c.h[0]
+}

@@ -1,0 +1,197 @@
+// Package event provides the discrete-event execution core the msg
+// runtime schedules simulated ranks on: a deterministic engine that runs
+// P coroutine-style processes under a single execution token, a calendar
+// queue totally ordered by (time, rank, seq), an event trace recording
+// every clock-advancing operation, and a critical-path extractor over
+// the trace.
+//
+// The paper's machine model (Oliker & Biswas, SPAA 1997, Section 4.5)
+// converts communication volumes into seconds analytically; the msg
+// runtime does it operationally, one simulated clock per rank.  Before
+// this package, ranks free-ran as goroutines with private clocks, which
+// had two costs: topologies with shared-link contention (the fat tree's
+// up-links) reserved links in goroutine-scheduling order, making
+// contended timings only approximately reproducible; and there was no
+// global event order to trace or to extract a critical path from.  The
+// engine fixes both: exactly one process executes at any instant, and
+// the scheduler always resumes the runnable process with the smallest
+// (time, rank, seq) key, so every shared-resource reservation happens in
+// simulated-time order and every run is bitwise reproducible regardless
+// of GOMAXPROCS.
+package event
+
+import (
+	"fmt"
+	"math"
+)
+
+// Deadlock is the panic value delivered inside a process that is still
+// blocked when no pending event can ever wake it (every other live
+// process is blocked too).  The msg runtime converts it into a
+// per-world deadlock report naming the stuck ranks.
+type Deadlock struct {
+	ID int // the blocked process
+}
+
+func (d Deadlock) Error() string {
+	return fmt.Sprintf("event: process %d blocked with no event in flight", d.ID)
+}
+
+type pstate uint8
+
+const (
+	stateReady pstate = iota
+	stateRunning
+	stateBlocked
+	stateDone
+)
+
+type proc struct {
+	state   pstate
+	aborted bool
+	grant   chan struct{} // engine -> process: you hold the token
+}
+
+// Engine is a deterministic discrete-event scheduler for a fixed set of
+// coroutine-style processes.  Exactly one goroutine — the engine or one
+// process — runs at any instant; the execution token is handed over by
+// channel operations, so all engine and process state is synchronized
+// without locks and the schedule is independent of GOMAXPROCS.
+//
+// Processes interact with the engine through three primitives, each of
+// which may only be called by the process that owns the token:
+//
+//   - Yield(id, t): reschedule me at simulated time t and run me again
+//     when I am globally next.  The msg runtime yields before every
+//     shared-link reservation, which is what serializes fat-tree up-link
+//     contention in simulated-time order (the deterministic reservation
+//     pass).
+//   - Block(id): suspend me until another process calls Wake.
+//   - Wake(id, t): make a blocked process runnable at time t (message
+//     delivery).
+//
+// Keys processed by the scheduler are nondecreasing in time: a running
+// process only inserts keys at or after its own current time, so the
+// engine never violates causality.
+type Engine struct {
+	procs []proc
+	cal   Calendar
+	seq   int64
+	token chan struct{} // process -> engine: token returned
+	fault any           // first panic escaping a process body
+}
+
+// NewEngine returns an engine for p processes with ids 0..p-1.
+func NewEngine(p int) *Engine {
+	if p <= 0 {
+		panic("event: engine needs at least one process")
+	}
+	e := &Engine{procs: make([]proc, p), token: make(chan struct{})}
+	for i := range e.procs {
+		e.procs[i].grant = make(chan struct{})
+	}
+	return e
+}
+
+func (e *Engine) nextSeq() int64 {
+	e.seq++
+	return e.seq
+}
+
+// Run executes fn(id) for every process and returns when all have
+// finished.  Scheduling is by smallest (time, id, seq): all processes
+// start ready at time 0.  If fn panics the engine lets the remaining
+// processes finish (blocked ones are aborted with a Deadlock panic
+// inside their own goroutine) and then re-raises the first panic on the
+// caller; callers that recover inside fn — as the msg runtime does —
+// never see that path.
+func (e *Engine) Run(fn func(id int)) {
+	for i := range e.procs {
+		e.procs[i].state = stateReady
+		e.cal.Push(Entry{Time: 0, ID: i, Seq: e.nextSeq()})
+	}
+	for i := range e.procs {
+		go func(id int) {
+			p := &e.procs[id]
+			<-p.grant
+			defer func() {
+				if r := recover(); r != nil && e.fault == nil {
+					e.fault = r
+				}
+				p.state = stateDone
+				e.token <- struct{}{}
+			}()
+			fn(id)
+		}(i)
+	}
+	live := len(e.procs)
+	for live > 0 {
+		if e.cal.Len() == 0 {
+			// Every live process is blocked: global deadlock.  Abort them
+			// so each unwinds (Block panics Deadlock in the process body)
+			// instead of leaking parked goroutines.
+			for i := range e.procs {
+				if e.procs[i].state == stateBlocked {
+					e.procs[i].aborted = true
+					e.procs[i].state = stateReady
+					e.cal.Push(Entry{Time: math.Inf(1), ID: i, Seq: e.nextSeq()})
+				}
+			}
+			if e.cal.Len() == 0 {
+				panic("event: live processes but none ready or blocked")
+			}
+			continue
+		}
+		ent := e.cal.Pop()
+		p := &e.procs[ent.ID]
+		p.state = stateRunning
+		p.grant <- struct{}{}
+		<-e.token
+		if p.state == stateDone {
+			live--
+		}
+	}
+	if e.fault != nil {
+		panic(e.fault)
+	}
+}
+
+// Yield reschedules the calling process at simulated time t and returns
+// once it is again the globally smallest pending event.  Yield does not
+// change any clock; it only defers execution, which is how operations on
+// shared simulated resources get processed in (time, rank, seq) order.
+func (e *Engine) Yield(id int, t float64) {
+	p := &e.procs[id]
+	p.state = stateReady
+	e.cal.Push(Entry{Time: t, ID: id, Seq: e.nextSeq()})
+	e.token <- struct{}{}
+	<-p.grant
+	p.state = stateRunning
+}
+
+// Block suspends the calling process until another process wakes it.
+// It panics with Deadlock when no event can ever arrive.
+func (e *Engine) Block(id int) {
+	p := &e.procs[id]
+	if p.aborted {
+		panic(Deadlock{ID: id})
+	}
+	p.state = stateBlocked
+	e.token <- struct{}{}
+	<-p.grant
+	p.state = stateRunning
+	if p.aborted {
+		panic(Deadlock{ID: id})
+	}
+}
+
+// Wake makes a blocked process runnable again at simulated time t.  It
+// must be called by the running process (delivering a message) and is a
+// no-op when the target is not blocked — an already-ready process will
+// see the delivery when it next runs.
+func (e *Engine) Wake(id int, t float64) {
+	if p := &e.procs[id]; p.state == stateBlocked {
+		p.state = stateReady
+		e.cal.Push(Entry{Time: t, ID: id, Seq: e.nextSeq()})
+	}
+}

@@ -27,3 +27,27 @@ func (A *CSR) MulVec(dst, x []float64) {
 		dst[i] = s
 	}
 }
+
+// MulVecRows computes dst[i] = (A*x)[i] for the listed rows only,
+// leaving other entries of dst untouched.  The per-row inner product is
+// the identical kernel (same entry order, same unroll), so splitting a
+// product into row subsets — the interior/boundary split of the
+// overlapped halo exchange — produces bitwise the same dst as one
+// MulVec over all rows.
+func (A *CSR) MulVecRows(dst, x []float64, rows []int32) {
+	col := A.Col
+	val := A.Val
+	for _, i := range rows {
+		lo, hi := int(A.RowPtr[i]), int(A.RowPtr[i+1])
+		var s float64
+		k := lo
+		for ; k+4 <= hi; k += 4 {
+			s += val[k]*x[col[k]] + val[k+1]*x[col[k+1]] +
+				val[k+2]*x[col[k+2]] + val[k+3]*x[col[k+3]]
+		}
+		for ; k < hi; k++ {
+			s += val[k] * x[col[k]]
+		}
+		dst[i] = s
+	}
+}

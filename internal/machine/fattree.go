@@ -12,11 +12,12 @@ import "sync"
 //
 // The up-link reservation is a contention queue in simulated time: a
 // transfer ready at depart starts at max(depart, link busy-until) and
-// occupies the link for nbytes * uplinkPerByte seconds.  Reservations
-// are mutex-guarded per group; when several ranks race for one up-link
-// the reservation order follows goroutine scheduling, so contended
-// timings are approximately (not bitwise) reproducible — contention-free
-// paths stay exact.
+// occupies the link for nbytes * uplinkPerByte seconds.  The fat tree
+// reports Contended, so the msg runtime's event engine serializes the
+// reservations in (time, rank, seq) order — the deterministic
+// reservation pass — making contended timings bitwise reproducible for
+// any GOMAXPROCS.  The per-group mutex remains only as a safety net for
+// callers driving the model outside the engine.
 type FatTree struct {
 	p             int
 	radix         int
@@ -101,6 +102,11 @@ func (t *FatTree) Acquire(src, dst, nbytes int, depart float64) float64 {
 	u.mu.Unlock()
 	return start
 }
+
+// Contended implements Model: transfers leaving their leaf group
+// reserve the group's shared up-link, so they must be processed in
+// simulated-time order; intra-group transfers touch no shared state.
+func (t *FatTree) Contended(src, dst int) bool { return src/t.radix != dst/t.radix }
 
 // Reset implements Model: clears all up-link reservations.
 func (t *FatTree) Reset() {

@@ -38,5 +38,8 @@ func (f *Flat) Hops(src, dst int) int {
 // Acquire implements Model: no shared links, no contention.
 func (f *Flat) Acquire(src, dst, nbytes int, depart float64) float64 { return depart }
 
+// Contended implements Model: no shared link state.
+func (f *Flat) Contended(src, dst int) bool { return false }
+
 // Reset implements Model.
 func (f *Flat) Reset() {}

@@ -59,5 +59,8 @@ func (h *Hetero) Acquire(src, dst, nbytes int, depart float64) float64 {
 	return h.base.Acquire(src, dst, nbytes, depart)
 }
 
+// Contended implements Model by delegation.
+func (h *Hetero) Contended(src, dst int) bool { return h.base.Contended(src, dst) }
+
 // Reset implements Model by delegation.
 func (h *Hetero) Reset() { h.base.Reset() }

@@ -53,10 +53,19 @@ type Model interface {
 	// Acquire reserves the shared network resources needed by a transfer
 	// of nbytes from src to dst that is ready to inject at simulated
 	// time depart, and returns the actual injection time — depart itself
-	// on contention-free links.  Implementations with shared state must
-	// be mutex-guarded; reservation order follows goroutine scheduling,
-	// so contended paths are approximately (not bitwise) reproducible.
+	// on contention-free links.  On machines that report Contended, the
+	// msg runtime's event engine serializes Acquire calls in
+	// (time, rank, seq) order — the deterministic reservation pass — so
+	// contended timings are bitwise reproducible; implementations keep
+	// their own guards only as a safety net for direct callers.
 	Acquire(src, dst, nbytes int, depart float64) float64
+	// Contended reports whether a transfer from src to dst consults
+	// shared mutable link state in Acquire (a reservation queue).  The
+	// runtime runs its engine reservation pass only for contended pairs;
+	// contention-free pairs — every pair on a flat or SMP machine, and
+	// intra-group pairs on the fat tree — skip it, keeping the exact
+	// cost path of the scalar model.
+	Contended(src, dst int) bool
 	// Reset clears contention state so a model can be reused across
 	// simulation runs.
 	Reset()
@@ -96,14 +105,44 @@ func Uniform(m Model) bool {
 	return true
 }
 
+// SpeedShares returns per-part target-load shares proportional to the
+// speed of the rank each part cycles onto (part j -> rank j mod P), or
+// nil when every rank runs at the same speed.  The repartitioner seeds
+// part j from rank j's current ownership (F=1), so share j scaled by
+// Speed(j) steers proportionally less work onto slow ranks — the
+// hetero-aware balancing that closes the loop between the machine model
+// and the partitioner's target loads.  A nil result keeps the uniform
+// targets, so homogeneous machines stay on the exact paper path.
+func SpeedShares(m Model, k int) []float64 {
+	p := m.Ranks()
+	uniform := true
+	s0 := m.Speed(0)
+	for r := 1; r < p; r++ {
+		if m.Speed(r) != s0 {
+			uniform = false
+			break
+		}
+	}
+	if uniform {
+		return nil
+	}
+	shares := make([]float64, k)
+	for j := 0; j < k; j++ {
+		shares[j] = m.Speed(j % p)
+	}
+	return shares
+}
+
 // Names lists the topologies ByName accepts, in presentation order.
 func Names() []string { return []string{"flat", "smp", "fattree", "hetero"} }
 
 // ByName builds the named topology for a p-rank machine with the default
 // calibration: SP2 links for flat, 4-rank SMP nodes with shared-memory
-// intra-node links, a radix-4 fat tree with SP2 leaf links, and a hetero
-// machine whose second half runs at 0.5x speed.  Each call returns a
-// fresh model (fresh contention state).
+// intra-node links, a radix-4 fat tree with SP2 leaf links and 4:1
+// oversubscribed up-links (the classical taper: one up-link carries a
+// full leaf group, so its effective per-byte time is radix x the leaf
+// link's), and a hetero machine whose second half runs at 0.5x speed.
+// Each call returns a fresh model (fresh contention state).
 func ByName(name string, p int) (Model, error) {
 	switch name {
 	case "flat":
@@ -111,7 +150,7 @@ func ByName(name string, p int) (Model, error) {
 	case "smp":
 		return NewSMPCluster(p, 4, SMPIntraLink(), SP2Link()), nil
 	case "fattree":
-		return NewFatTree(p, 4, SP2Link(), 10e-6, SP2Link().PerByte), nil
+		return NewFatTree(p, 4, SP2Link(), 10e-6, 4*SP2Link().PerByte), nil
 	case "hetero":
 		return NewHetero(NewFlat(p, SP2Link()), TwoGenerationSpeeds(p, 0.5)), nil
 	default:

@@ -1,0 +1,51 @@
+package machine
+
+import "testing"
+
+// TestSpeedShares: homogeneous machines yield nil (the exact uniform
+// path); heterogeneous machines yield per-part shares cycling over the
+// ranks' speeds.
+func TestSpeedShares(t *testing.T) {
+	for _, name := range []string{"flat", "smp", "fattree"} {
+		m, err := ByName(name, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s := SpeedShares(m, 8); s != nil {
+			t.Errorf("%s: homogeneous machine produced shares %v", name, s)
+		}
+	}
+	h := NewHetero(NewFlat(4, SP2Link()), []float64{1, 1, 0.5, 0.5})
+	s := SpeedShares(h, 8) // F=2: parts cycle over the ranks
+	want := []float64{1, 1, 0.5, 0.5, 1, 1, 0.5, 0.5}
+	if len(s) != len(want) {
+		t.Fatalf("share length %d, want %d", len(s), len(want))
+	}
+	for i := range want {
+		if s[i] != want[i] {
+			t.Errorf("share[%d] = %v, want %v", i, s[i], want[i])
+		}
+	}
+}
+
+// TestContended: only the fat tree's inter-group pairs carry shared
+// mutable link state; hetero delegates to its base.
+func TestContended(t *testing.T) {
+	cases := []struct {
+		m        Model
+		src, dst int
+		want     bool
+	}{
+		{NewFlat(8, SP2Link()), 0, 7, false},
+		{NewSMPCluster(8, 4, SMPIntraLink(), SP2Link()), 0, 7, false},
+		{NewFatTree(8, 4, SP2Link(), 10e-6, 4*SP2Link().PerByte), 0, 1, false}, // same leaf group
+		{NewFatTree(8, 4, SP2Link(), 10e-6, 4*SP2Link().PerByte), 0, 4, true},  // crosses the up-link
+		{NewHetero(NewFlat(8, SP2Link()), TwoGenerationSpeeds(8, 0.5)), 0, 7, false},
+		{NewHetero(NewFatTree(8, 4, SP2Link(), 10e-6, 1e-8), TwoGenerationSpeeds(8, 0.5)), 0, 4, true},
+	}
+	for _, c := range cases {
+		if got := c.m.Contended(c.src, c.dst); got != c.want {
+			t.Errorf("%s: Contended(%d,%d) = %v, want %v", c.m.Name(), c.src, c.dst, got, c.want)
+		}
+	}
+}

@@ -70,5 +70,8 @@ func (m *SMPCluster) Hops(src, dst int) int {
 // Acquire implements Model: links are modeled contention-free.
 func (m *SMPCluster) Acquire(src, dst, nbytes int, depart float64) float64 { return depart }
 
+// Contended implements Model: no shared link state.
+func (m *SMPCluster) Contended(src, dst int) bool { return false }
+
 // Reset implements Model.
 func (m *SMPCluster) Reset() {}

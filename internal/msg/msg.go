@@ -1,29 +1,36 @@
 // Package msg provides an MPI-style message-passing runtime for a fixed
-// group of logical processors (ranks) executing as goroutines within a
-// single process.
+// group of logical processors (ranks) executing within a single process.
 //
 // The paper this repository reproduces (Oliker & Biswas, SPAA 1997) was
 // implemented in C/C++ with MPI on an IBM SP2.  Go has no MPI bindings, so
 // this package supplies the substrate: tagged point-to-point sends and
-// receives, the collectives the PLUM framework needs (barrier, broadcast,
-// gather, scatter, allgather, reduce, allreduce, all-to-all), and a
-// deterministic simulated machine-time model (see clock.go) used to produce
-// shape-faithful scaling curves for processor counts far beyond the host's
-// physical core count.
+// receives, nonblocking Isend/Irecv/Wait, the collectives the PLUM
+// framework needs (barrier, broadcast, gather, scatter, allgather, reduce,
+// allreduce, all-to-all), and a deterministic simulated machine-time model
+// (see clock.go) used to produce shape-faithful scaling curves for
+// processor counts far beyond the host's physical core count.
+//
+// Ranks execute as coroutine-style processes on the discrete-event engine
+// of internal/event: exactly one rank runs at any instant and the
+// scheduler always resumes the rank with the smallest (time, rank, seq)
+// key, so every run — including shared-link contention on topologies like
+// the fat tree — is bitwise reproducible regardless of GOMAXPROCS.  Sends
+// that cross a machine topology yield to the engine at their injection
+// time, which serializes shared-link reservations in simulated-time order
+// (the deterministic reservation pass that replaced the old
+// goroutine-scheduling-order contention queues).
 //
 // Semantics follow MPI's eager mode: sends are asynchronous and buffered
-// (they never block), receives block until a matching message (by source
-// and tag) arrives.  Message order between a fixed (source, destination,
-// tag) triple is FIFO, which makes every algorithm built on this package
-// deterministic.  Simulated times are bitwise reproducible too, with one
-// exception: topologies that model shared-link contention (the fat
-// tree's up-link queues) reserve links in goroutine-scheduling order, so
-// contended timings are approximately — not bitwise — reproducible.
+// (they never block the sender's progress), receives block until a
+// matching message (by source and tag) arrives.  Message order between a
+// fixed (source, destination, tag) triple is FIFO, which makes every
+// algorithm built on this package deterministic.
 package msg
 
 import (
 	"fmt"
-	"sync"
+
+	"plum/internal/event"
 )
 
 // AnySource may be passed to Recv to match a message from any rank.
@@ -45,6 +52,8 @@ type Message struct {
 	// arrival is the simulated time at which the message is available at
 	// the receiver.  Zero when no cost model is installed.
 	arrival float64
+	// id links the message to its trace records (0 when untraced).
+	id int64
 }
 
 // matchKey identifies a queue within a mailbox.
@@ -53,46 +62,31 @@ type matchKey struct {
 	tag int
 }
 
-// mailbox is the per-rank receive buffer.  Senders append, the owning rank
-// removes.  A single mutex + cond per rank suffices: contention is bounded
-// by the number of ranks and messages are coarse-grained in this workload.
+// mailbox is the per-rank receive buffer.  The event engine grants the
+// execution token to exactly one rank at a time, so mailboxes need no
+// locking: a sender appends while holding the token, the owning rank
+// removes while holding it.
 type mailbox struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
 	queues map[matchKey][]*Message
-	// order preserves global arrival order for AnySource/AnyTag matching.
+	// order preserves delivery order for AnySource/AnyTag matching.
+	// Deliveries happen in the engine's deterministic schedule, so
+	// wildcard matching is deterministic too.
 	order []*Message
 }
 
 func newMailbox() *mailbox {
-	mb := &mailbox{queues: make(map[matchKey][]*Message)}
-	mb.cond = sync.NewCond(&mb.mu)
-	return mb
+	return &mailbox{queues: make(map[matchKey][]*Message)}
 }
 
 func (mb *mailbox) put(m *Message) {
-	mb.mu.Lock()
 	k := matchKey{m.Src, m.Tag}
 	mb.queues[k] = append(mb.queues[k], m)
 	mb.order = append(mb.order, m)
-	mb.cond.Broadcast()
-	mb.mu.Unlock()
 }
 
-// take removes and returns the first message matching (src, tag), blocking
-// until one is available.
-func (mb *mailbox) take(src, tag int) *Message {
-	mb.mu.Lock()
-	defer mb.mu.Unlock()
-	for {
-		if m := mb.tryTakeLocked(src, tag); m != nil {
-			return m
-		}
-		mb.cond.Wait()
-	}
-}
-
-func (mb *mailbox) tryTakeLocked(src, tag int) *Message {
+// tryTake removes and returns the first message matching (src, tag), or
+// nil when none is buffered.
+func (mb *mailbox) tryTake(src, tag int) *Message {
 	if src != AnySource && tag != AnyTag {
 		k := matchKey{src, tag}
 		q := mb.queues[k]
@@ -104,7 +98,7 @@ func (mb *mailbox) tryTakeLocked(src, tag int) *Message {
 		mb.removeFromOrder(m)
 		return m
 	}
-	// Wildcard match: scan arrival order for determinism.
+	// Wildcard match: scan delivery order.
 	for i, m := range mb.order {
 		if (src == AnySource || m.Src == src) && (tag == AnyTag || m.Tag == tag) {
 			mb.order = append(mb.order[:i], mb.order[i+1:]...)
@@ -131,11 +125,27 @@ func (mb *mailbox) removeFromOrder(m *Message) {
 	}
 }
 
+// waitState records what a blocked rank is waiting for, so deliveries
+// wake it only when they match — a spurious wake would schedule the
+// rank at the wrong simulated time and let a later-keyed resume emit
+// earlier-timed events, breaking the engine's nondecreasing-key
+// processing order (and with it the reservation pass's simulated-time
+// ordering of contended transfers).
+type waitState struct {
+	active   bool
+	src, tag int     // what the blocked Recv matches (may be wildcards)
+	clock    float64 // the rank's clock when it blocked
+}
+
 // World holds the shared state of a group of ranks.
 type World struct {
-	size  int
-	boxes []*mailbox
-	model *CostModel // nil means no simulated timing
+	size    int
+	boxes   []*mailbox
+	model   *CostModel    // nil means no simulated timing
+	eng     *event.Engine // the execution substrate
+	trace   *event.Trace  // nil unless the run is traced
+	msgSeq  int64         // message ids for trace edges
+	waiting []waitState   // per-rank blocked-receive state
 }
 
 // Comm is one rank's handle to the world.  It is not safe for concurrent
@@ -171,15 +181,31 @@ func (c *Comm) Compute(units float64) {
 				t /= s
 			}
 		}
+		t0 := c.clock.Now
 		c.clock.Now += t
+		c.traceLocal(t0)
 	}
 }
 
 // AdvanceTime adds raw simulated seconds to this rank's clock.
-func (c *Comm) AdvanceTime(seconds float64) { c.clock.Now += seconds }
+func (c *Comm) AdvanceTime(seconds float64) {
+	t0 := c.clock.Now
+	c.clock.Now += seconds
+	c.traceLocal(t0)
+}
 
-// Send delivers data to rank dst with the given tag.  It never blocks.
-// The payload is copied, so the caller may reuse the slice.
+func (c *Comm) traceLocal(t0 float64) {
+	if tr := c.world.trace; tr != nil && c.clock.Now != t0 {
+		tr.Add(event.Record{
+			Rank: c.rank, Kind: event.KindCompute,
+			T0: t0, T1: c.clock.Now, Peer: -1,
+		})
+	}
+}
+
+// Send delivers data to rank dst with the given tag.  It never blocks on
+// the receiver.  The payload is copied, so the caller may reuse the
+// slice.
 func (c *Comm) Send(dst, tag int, data []byte) {
 	if dst < 0 || dst >= c.world.size {
 		panic(fmt.Sprintf("msg: send to invalid rank %d (size %d)", dst, c.world.size))
@@ -187,7 +213,9 @@ func (c *Comm) Send(dst, tag int, data []byte) {
 	buf := make([]byte, len(data))
 	copy(buf, data)
 	m := &Message{Src: c.rank, Tag: tag, Data: buf}
-	if mod := c.world.model; mod != nil {
+	w := c.world
+	t0 := c.clock.Now
+	if mod := w.model; mod != nil {
 		// Sender pays the per-message setup plus per-byte injection cost;
 		// the message arrives after the wire latency.  With a topology
 		// installed the constants are per-pair and the transfer may queue
@@ -200,11 +228,44 @@ func (c *Comm) Send(dst, tag int, data []byte) {
 		c.clock.Now += setup + float64(len(data))*perByte
 		depart := c.clock.Now
 		if mod.Topo != nil {
+			if mod.Topo.Contended(c.rank, dst) {
+				// Deterministic reservation pass: yield until this send is
+				// the globally next event, so shared-link reservations
+				// happen in (time, rank, seq) order — bitwise reproducible
+				// — instead of goroutine-scheduling order.  Contention-free
+				// topologies skip the yield, keeping delivery order — and
+				// therefore wildcard matching — on the exact path of the
+				// scalar model.
+				w.eng.Yield(c.rank, depart)
+			}
 			depart = mod.Topo.Acquire(c.rank, dst, len(data), depart)
 		}
 		m.arrival = depart + latency
 	}
-	c.world.boxes[dst].put(m)
+	if tr := w.trace; tr != nil {
+		w.msgSeq++
+		m.id = w.msgSeq
+		tr.Add(event.Record{
+			Rank: c.rank, Kind: event.KindSend, T0: t0, T1: c.clock.Now,
+			Peer: dst, Tag: tag, Bytes: len(data), MsgID: m.id,
+		})
+	}
+	w.boxes[dst].put(m)
+	// Wake the receiver only when this message matches its blocked Recv,
+	// keyed no earlier than the receiver's own clock: the resumed rank's
+	// clock then catches up to at least its wake key before it emits any
+	// further event, which keeps the engine's processed keys
+	// nondecreasing — the property the deterministic reservation pass's
+	// simulated-time ordering rests on.
+	if ws := &w.waiting[dst]; ws.active &&
+		(ws.src == AnySource || ws.src == m.Src) &&
+		(ws.tag == AnyTag || ws.tag == m.Tag) {
+		wake := m.arrival
+		if ws.clock > wake {
+			wake = ws.clock
+		}
+		w.eng.Wake(dst, wake)
+	}
 }
 
 // Recv blocks until a message matching (src, tag) arrives and returns it.
@@ -216,7 +277,16 @@ func (c *Comm) Send(dst, tag int, data []byte) {
 // gather cost the root ~P message receipts — the host-side bottleneck the
 // paper's Section 4.2 warns about for serial partitioning.
 func (c *Comm) Recv(src, tag int) *Message {
-	m := c.world.boxes[c.rank].take(src, tag)
+	mb := c.world.boxes[c.rank]
+	t0 := c.clock.Now
+	m := mb.tryTake(src, tag)
+	for m == nil {
+		ws := &c.world.waiting[c.rank]
+		*ws = waitState{active: true, src: src, tag: tag, clock: c.clock.Now}
+		c.world.eng.Block(c.rank)
+		ws.active = false
+		m = mb.tryTake(src, tag)
+	}
 	if mod := c.world.model; mod != nil {
 		if m.arrival > c.clock.Now {
 			c.clock.Now = m.arrival
@@ -228,11 +298,18 @@ func (c *Comm) Recv(src, tag int) *Message {
 		}
 		c.clock.Now += setup + float64(len(m.Data))*perByte
 	}
+	if tr := c.world.trace; tr != nil {
+		tr.Add(event.Record{
+			Rank: c.rank, Kind: event.KindRecv, T0: t0, T1: c.clock.Now,
+			Peer: m.Src, Tag: m.Tag, Bytes: len(m.Data), MsgID: m.id,
+			Arrival: m.arrival,
+		})
+	}
 	return m
 }
 
-// Run executes fn on p ranks (goroutines) and blocks until all complete.
-// A panic on any rank is re-raised on the caller after all ranks stop.
+// Run executes fn on p ranks and blocks until all complete.  A panic on
+// any rank is re-raised on the caller after all ranks stop.
 func Run(p int, fn func(*Comm)) {
 	RunModel(p, nil, fn)
 }
@@ -241,6 +318,20 @@ func Run(p int, fn func(*Comm)) {
 // the final simulated clock value of each rank.  A nil model disables
 // timing (all clocks remain zero).
 func RunModel(p int, model *CostModel, fn func(*Comm)) []float64 {
+	times, _ := runWorld(p, model, false, fn)
+	return times
+}
+
+// RunTraced is RunModel with event tracing enabled: every clock-advancing
+// operation of every rank is recorded, message sends are linked to the
+// receives that consumed them, and the returned trace supports
+// critical-path extraction (event.CriticalPath) and Chrome-tracing export
+// (Trace.WriteChrome).
+func RunTraced(p int, model *CostModel, fn func(*Comm)) ([]float64, *event.Trace) {
+	return runWorld(p, model, true, fn)
+}
+
+func runWorld(p int, model *CostModel, traced bool, fn func(*Comm)) ([]float64, *event.Trace) {
 	if p <= 0 {
 		panic("msg: world size must be positive")
 	}
@@ -251,7 +342,11 @@ func RunModel(p int, model *CostModel, fn func(*Comm)) []float64 {
 		// Fresh contention state per run so a model can be reused.
 		model.Topo.Reset()
 	}
-	w := &World{size: p, boxes: make([]*mailbox, p), model: model}
+	w := &World{size: p, boxes: make([]*mailbox, p), model: model,
+		eng: event.NewEngine(p), waiting: make([]waitState, p)}
+	if traced {
+		w.trace = &event.Trace{P: p}
+	}
 	for i := range w.boxes {
 		w.boxes[i] = newMailbox()
 	}
@@ -259,29 +354,34 @@ func RunModel(p int, model *CostModel, fn func(*Comm)) []float64 {
 	for i := range comms {
 		comms[i] = &Comm{rank: i, world: w}
 	}
-	var wg sync.WaitGroup
 	panics := make([]any, p)
-	for i := 0; i < p; i++ {
-		wg.Add(1)
-		go func(r int) {
-			defer wg.Done()
-			defer func() {
-				if e := recover(); e != nil {
-					panics[r] = e
-				}
-			}()
-			fn(comms[r])
-		}(i)
-	}
-	wg.Wait()
+	w.eng.Run(func(r int) {
+		defer func() {
+			if e := recover(); e != nil {
+				panics[r] = e
+			}
+		}()
+		fn(comms[r])
+	})
+	// A real panic on one rank starves its partners, which then abort as
+	// deadlocked; report the root cause, not the symptom.
+	var deadlocked []int
 	for r, e := range panics {
-		if e != nil {
-			panic(fmt.Sprintf("msg: rank %d panicked: %v", r, e))
+		if e == nil {
+			continue
 		}
+		if _, ok := e.(event.Deadlock); ok {
+			deadlocked = append(deadlocked, r)
+			continue
+		}
+		panic(fmt.Sprintf("msg: rank %d panicked: %v", r, e))
+	}
+	if len(deadlocked) > 0 {
+		panic(fmt.Sprintf("msg: deadlock: ranks %v blocked in Recv with no matching send in flight", deadlocked))
 	}
 	times := make([]float64, p)
 	for i, cm := range comms {
 		times[i] = cm.clock.Now
 	}
-	return times
+	return times, w.trace
 }

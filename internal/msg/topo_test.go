@@ -11,8 +11,8 @@ import (
 // is cheaper on a machine whose links are faster, and an SMP cluster
 // sits between its all-intra and all-inter bounds.  These tests are the
 // satellite requirement that "broadcast/allreduce costs must depend on
-// topology"; go test -race over this package exercises the contention
-// queue's locking.
+// topology"; go test -race over this package exercises the engine's
+// token handoff under the race detector.
 
 // bcastCost runs a P-rank broadcast of n bytes under the model and
 // returns the makespan.
@@ -109,8 +109,9 @@ func TestHeteroComputeSlowdown(t *testing.T) {
 // TestFatTreeUplinkContention: two co-located ranks bursting off-group
 // traffic at the same simulated instant serialize on their shared
 // up-link, so the slower of the two arrivals lands one full
-// serialization later than on a contention-free tree.  (Which rank gets
-// delayed follows goroutine scheduling; the makespan is deterministic.)
+// serialization later than on a contention-free tree.  (The engine's
+// reservation pass orders the tie by rank — rank 0 injects first — so
+// rank 5's receive is the delayed one, deterministically.)
 func TestFatTreeUplinkContention(t *testing.T) {
 	const p, n = 8, 10000
 	link := machine.LinkParams{Setup: 0, PerByte: 1e-6, Latency: 0}

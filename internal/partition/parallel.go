@@ -52,9 +52,7 @@ func blockRange(n, p, r int) (lo, hi int) {
 // initial partition.  Per-rank compute costs are charged to the simulated
 // clock through c.Compute.
 func ParallelRepartition(c *msg.Comm, g *dual.Graph, k int, prev []int32, opt Options) ParallelRepartitionResult {
-	if opt.ImbalanceTol == 0 {
-		opt = Default()
-	}
+	opt = opt.withDefaults()
 	n := g.NumVerts()
 	p := c.Size()
 	lo, hi := blockRange(n, p, c.Rank())
@@ -286,11 +284,7 @@ func localMultilevelCoarsen(g *dual.Graph, lo, hi, target int) (cmap []int32, wo
 // newPart) moves made.
 func refineBlock(g *dual.Graph, part []int32, k, lo, hi int, opt Options) [][2]int32 {
 	w := PartWeights(g, part, k)
-	total := g.TotalWComp()
-	maxAllowed := int64(opt.ImbalanceTol * float64(total) / float64(k))
-	if maxAllowed < total/int64(k)+1 {
-		maxAllowed = total/int64(k) + 1
-	}
+	caps := partCaps(g.TotalWComp(), k, opt.ImbalanceTol, opt.TargetShares)
 	var moves [][2]int32
 	for v := int32(lo); v < int32(hi); v++ {
 		p := part[v]
@@ -310,7 +304,7 @@ func refineBlock(g *dual.Graph, part []int32, k, lo, hi int, opt Options) [][2]i
 		bestPart := int32(-1)
 		var bestGain int64 = 0
 		for j, q := range parts {
-			if q == p || w[q]+g.WComp[v] > maxAllowed {
+			if q == p || w[q]+g.WComp[v] > caps[q] {
 				continue
 			}
 			gain := conn[j] - internal

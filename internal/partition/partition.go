@@ -22,6 +22,7 @@ package partition
 
 import (
 	"fmt"
+	"math"
 
 	"plum/internal/dual"
 )
@@ -37,11 +38,32 @@ type Options struct {
 	CoarsenTo int
 	// MaxRefinePasses bounds boundary refinement sweeps per level.
 	MaxRefinePasses int
+	// TargetShares, when non-nil, holds one relative target weight per
+	// part (length k): part j's target load is total*TargetShares[j]/sum.
+	// Heterogeneous machines set shares proportional to processor speed
+	// (machine.SpeedShares) so slow ranks receive proportionally less
+	// work.  Nil means equal shares — the paper's uniform machine.
+	TargetShares []float64
 }
 
 // Default returns the standard options.
 func Default() Options {
 	return Options{ImbalanceTol: 1.05, MaxRefinePasses: 8}
+}
+
+// withDefaults fills the zero-valued tuning fields from Default while
+// keeping every explicitly set field (TargetShares included) — the one
+// place the "zero value is usable" promise is implemented, so a future
+// Options field cannot be silently dropped by a caller's local copy of
+// this fallback.
+func (o Options) withDefaults() Options {
+	if o.ImbalanceTol == 0 {
+		o.ImbalanceTol = Default().ImbalanceTol
+	}
+	if o.MaxRefinePasses == 0 {
+		o.MaxRefinePasses = Default().MaxRefinePasses
+	}
+	return o
 }
 
 func (o Options) coarsenTarget(k int) int {
@@ -79,11 +101,12 @@ type level struct {
 
 // multilevel runs coarsen / initial-partition / uncoarsen+refine.
 func multilevel(g *dual.Graph, k int, prev []int32, opt Options) []int32 {
-	if opt.ImbalanceTol == 0 {
-		opt = Default()
-	}
+	opt = opt.withDefaults()
 	if k <= 0 {
 		panic("partition: k must be positive")
+	}
+	if opt.TargetShares != nil && len(opt.TargetShares) != k {
+		panic(fmt.Sprintf("partition: %d target shares for %d parts", len(opt.TargetShares), k))
 	}
 	if k == 1 {
 		return make([]int32, g.NumVerts())
@@ -129,17 +152,17 @@ func multilevel(g *dual.Graph, k int, prev []int32, opt Options) []int32 {
 	var part []int32
 	if curPrev != nil {
 		part = append([]int32(nil), curPrev...)
-		rebalance(cur, part, k, opt.ImbalanceTol)
+		rebalance(cur, part, k, opt)
 	} else {
-		part = greedyGrow(cur, k)
-		rebalance(cur, part, k, opt.ImbalanceTol)
+		part = greedyGrow(cur, k, opt.TargetShares)
+		rebalance(cur, part, k, opt)
 	}
 	refine(cur, part, k, opt)
 
 	// Uncoarsen: project and refine each finer level.
 	for li := len(levels) - 1; li >= 0; li-- {
 		part = dual.ProjectPartition(part, levels[li].cmap)
-		rebalance(levels[li].g, part, k, opt.ImbalanceTol)
+		rebalance(levels[li].g, part, k, opt)
 		refine(levels[li].g, part, k, opt)
 	}
 	return part
@@ -199,19 +222,31 @@ func heavyEdgeMatching(g *dual.Graph) (cmap []int32, nc int) {
 // greedyGrow produces an initial k-way partition by greedy graph growing:
 // regions are grown one at a time from an unassigned seed, preferring
 // frontier vertices most connected to the region, until each reaches the
-// target weight.
-func greedyGrow(g *dual.Graph, k int) []int32 {
+// target weight — uniform, or proportional to shares when given.
+func greedyGrow(g *dual.Graph, k int, shares []float64) []int32 {
 	n := g.NumVerts()
 	part := make([]int32, n)
 	for i := range part {
 		part[i] = -1
 	}
+	var shareSuffix []float64 // shareSuffix[p] = sum(shares[p:])
+	if shares != nil {
+		shareSuffix = make([]float64, k+1)
+		for p := k - 1; p >= 0; p-- {
+			shareSuffix[p] = shareSuffix[p+1] + shares[p]
+		}
+	}
 	total := g.TotalWComp()
 	assignedW := int64(0)
 	assignedN := 0
 	for p := int32(0); p < int32(k-1); p++ {
-		remainingParts := int64(k) - int64(p)
-		targetW := (total - assignedW + remainingParts - 1) / remainingParts
+		var targetW int64
+		if shares == nil {
+			remainingParts := int64(k) - int64(p)
+			targetW = (total - assignedW + remainingParts - 1) / remainingParts
+		} else {
+			targetW = int64(math.Ceil(float64(total-assignedW) * shares[p] / shareSuffix[p]))
+		}
 		// Seed: first unassigned vertex (deterministic).
 		seed := int32(-1)
 		for v := int32(0); v < int32(n); v++ {

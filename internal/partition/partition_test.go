@@ -211,7 +211,7 @@ func TestHeavyEdgeMatchingValid(t *testing.T) {
 func TestGreedyGrowCoversAllParts(t *testing.T) {
 	g := boxGraph(4, 4, 4)
 	for _, k := range []int{2, 3, 7} {
-		part := greedyGrow(g, k)
+		part := greedyGrow(g, k, nil)
 		seen := make(map[int32]bool)
 		for _, p := range part {
 			seen[p] = true

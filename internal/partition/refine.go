@@ -60,6 +60,38 @@ func Imbalance(g *dual.Graph, part []int32, k int) float64 {
 	return float64(max) / avg
 }
 
+// partCaps returns each part's balance bound.  With nil shares every
+// part gets the paper's uniform bound — bit-for-bit the scalar formula
+// the refinement always used; with shares (hetero-aware balancing) the
+// bound scales with each part's target share, so a half-speed rank's
+// part fills to half the load.
+func partCaps(total int64, k int, tol float64, shares []float64) []int64 {
+	caps := make([]int64, k)
+	if shares == nil {
+		m := int64(tol * float64(total) / float64(k))
+		if m < total/int64(k)+1 {
+			m = total/int64(k) + 1
+		}
+		for i := range caps {
+			caps[i] = m
+		}
+		return caps
+	}
+	var sum float64
+	for _, s := range shares {
+		sum += s
+	}
+	for i := range caps {
+		ideal := float64(total) * shares[i] / sum
+		m := int64(tol * ideal)
+		if m < int64(ideal)+1 {
+			m = int64(ideal) + 1
+		}
+		caps[i] = m
+	}
+	return caps
+}
+
 // connectivity computes, for vertex v, the total edge weight from v to
 // each part present in its neighbourhood (returned as parallel slices).
 func connectivity(g *dual.Graph, part []int32, v int32) (parts []int32, conn []int64) {
@@ -90,11 +122,7 @@ func connectivity(g *dual.Graph, part []int32, v int32) (parts []int32, conn []i
 func refine(g *dual.Graph, part []int32, k int, opt Options) {
 	n := g.NumVerts()
 	w := PartWeights(g, part, k)
-	total := g.TotalWComp()
-	maxAllowed := int64(opt.ImbalanceTol * float64(total) / float64(k))
-	if maxAllowed < total/int64(k)+1 {
-		maxAllowed = total/int64(k) + 1
-	}
+	caps := partCaps(g.TotalWComp(), k, opt.ImbalanceTol, opt.TargetShares)
 	passes := opt.MaxRefinePasses
 	if passes <= 0 {
 		passes = 8
@@ -122,7 +150,7 @@ func refine(g *dual.Graph, part []int32, k int, opt Options) {
 				if q == p {
 					continue
 				}
-				if w[q]+g.WComp[v] > maxAllowed {
+				if w[q]+g.WComp[v] > caps[q] {
 					continue
 				}
 				gain := conn[j] - internal
@@ -145,25 +173,22 @@ func refine(g *dual.Graph, part []int32, k int, opt Options) {
 }
 
 // rebalance moves boundary vertices out of overweight parts into the
-// lightest adjacent part (preferring moves with the least cut damage)
-// until every part is within the balance bound or no progress can be
-// made.  Needed when the previous partition seeds repartitioning: the
-// new weights may make the old assignment arbitrarily imbalanced.
-func rebalance(g *dual.Graph, part []int32, k int, tol float64) {
+// part with the most headroom (preferring moves with the least cut
+// damage) until every part is within its balance bound or no progress
+// can be made.  Needed when the previous partition seeds repartitioning:
+// the new weights may make the old assignment arbitrarily imbalanced.
+func rebalance(g *dual.Graph, part []int32, k int, opt Options) {
 	n := g.NumVerts()
 	w := PartWeights(g, part, k)
 	total := g.TotalWComp()
-	maxAllowed := int64(tol * float64(total) / float64(k))
-	if maxAllowed < total/int64(k)+1 {
-		maxAllowed = total/int64(k) + 1
-	}
+	caps := partCaps(total, k, opt.ImbalanceTol, opt.TargetShares)
 	for iter := 0; iter < 64; iter++ {
-		// Heaviest offending part.
+		// Most overloaded part (largest excess over its own bound).
 		hp := int32(-1)
-		var hw int64
+		var hx int64
 		for p, x := range w {
-			if x > maxAllowed && x > hw {
-				hp, hw = int32(p), x
+			if x > caps[p] && x-caps[p] > hx {
+				hp, hx = int32(p), x-caps[p]
 			}
 		}
 		if hp < 0 {
@@ -173,7 +198,7 @@ func rebalance(g *dual.Graph, part []int32, k int, tol float64) {
 		// neighbouring part, best cut gain first (single sweep).
 		progress := false
 		for v := int32(0); v < int32(n); v++ {
-			if part[v] != hp || w[hp] <= maxAllowed {
+			if part[v] != hp || w[hp] <= caps[hp] {
 				continue
 			}
 			parts, conn := connectivity(g, part, v)
@@ -186,7 +211,7 @@ func rebalance(g *dual.Graph, part []int32, k int, tol float64) {
 			bestPart := int32(-1)
 			var bestScore int64 = -1 << 62
 			for j, q := range parts {
-				if q == hp || w[q]+g.WComp[v] > maxAllowed {
+				if q == hp || w[q]+g.WComp[v] > caps[q] {
 					continue
 				}
 				score := conn[j] - internal - (w[q]*int64(k))/(total+1) // prefer gain, then lighter parts
@@ -203,20 +228,20 @@ func rebalance(g *dual.Graph, part []int32, k int, tol float64) {
 			}
 		}
 		if !progress {
-			// Boundary moves exhausted: move any vertex of hp (graph
-			// may be locally trapped); pick lightest part overall.
+			// Boundary moves exhausted: move any vertex of hp (graph may
+			// be locally trapped); pick the part with the most headroom.
 			lp := int32(0)
 			for p := 1; p < k; p++ {
-				if w[p] < w[lp] {
+				if caps[p]-w[p] > caps[lp]-w[lp] {
 					lp = int32(p)
 				}
 			}
 			movedAny := false
-			for v := int32(0); v < int32(n) && w[hp] > maxAllowed; v++ {
+			for v := int32(0); v < int32(n) && w[hp] > caps[hp]; v++ {
 				if part[v] != hp {
 					continue
 				}
-				if w[lp]+g.WComp[v] > maxAllowed {
+				if w[lp]+g.WComp[v] > caps[lp] {
 					continue
 				}
 				w[hp] -= g.WComp[v]

@@ -50,7 +50,7 @@ func TestRebalanceFixesGrossImbalance(t *testing.T) {
 	if Imbalance(g, part, 4) < 3.9 {
 		t.Fatal("setup not imbalanced")
 	}
-	rebalance(g, part, 4, 1.05)
+	rebalance(g, part, 4, Default())
 	if imb := Imbalance(g, part, 4); imb > 1.3 {
 		t.Errorf("rebalance left imbalance %.2f", imb)
 	}
