@@ -4,7 +4,8 @@
 // Usage:
 //
 //	plumbench [-paper] [-model flat|smp|fattree|hetero] [-trace file.json]
-//	          [-exp all|table1|table2|fig2|fig4|fig5|fig6|fig7|fig8|implicit|machine]
+//	          [-measured]
+//	          [-exp all|table1|table2|fig2|fig4|fig5|fig6|fig7|fig8|implicit|machine|feedback]
 //
 // The implicit experiment goes beyond the paper: it drives the
 // solve->adapt->balance cycle with a preconditioned-CG workload
@@ -22,6 +23,13 @@
 // step's event timeline as Chrome-tracing JSON (chrome://tracing,
 // ui.perfetto.dev), with message flow arrows from every send to the
 // receive that consumed it.
+//
+// The feedback experiment closes the measured-cost loop: the same
+// unsteady implicit run is priced twice — with the paper's analytic
+// gain/cost model and with each epoch's decision priced from the
+// previous epoch's event-trace profile (internal/profile) — and the
+// decisions, prices, and end-to-end simulated times are compared.
+// -measured applies the same loop to the implicit experiment itself.
 //
 // By default a reduced-scale mesh (~4k elements, P up to 16) reproduces
 // the qualitative shapes in seconds; -paper switches to the
@@ -48,7 +56,7 @@ import (
 
 // validExps lists the accepted -exp values in presentation order.
 var validExps = []string{"all", "table1", "table2", "fig2", "fig4", "fig5",
-	"fig6", "fig7", "fig8", "implicit", "machine"}
+	"fig6", "fig7", "fig8", "implicit", "machine", "feedback"}
 
 func usageError(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "plumbench: "+format+"\n", args...)
@@ -66,6 +74,9 @@ func main() {
 		strings.Join(machine.Names(), ", ")+" (default: uniform SP2)")
 	trace := flag.String("trace", "", "write Chrome-tracing JSON of the implicit-step event"+
 		" timeline to this file (requires -exp all or implicit)")
+	measured := flag.Bool("measured", false, "measured-cost feedback loop: run the implicit"+
+		" experiment traced and price each epoch's gain/cost decision from the previous"+
+		" epoch's profile (off: the paper's analytic pricing, bitwise)")
 	flag.Parse()
 
 	if flag.NArg() > 0 {
@@ -84,11 +95,17 @@ func main() {
 	if *trace != "" && *exp != "all" && *exp != "implicit" {
 		usageError("-trace records the implicit-step timeline; it requires -exp all or implicit, not %q", *exp)
 	}
+	if *measured && *exp != "all" && *exp != "implicit" {
+		// -exp feedback always runs both pricing modes; only the implicit
+		// experiment consults the flag.
+		usageError("-measured drives the implicit experiment's feedback loop; it requires -exp all or implicit, not %q", *exp)
+	}
 
 	e := core.NewExperiments(*paper)
 	if err := e.UseMachine(*model); err != nil {
 		usageError("%v", err)
 	}
+	e.Measured = *measured
 	w := os.Stdout
 	scale := "reduced scale"
 	if *paper {
@@ -143,6 +160,70 @@ func main() {
 	if run("machine") {
 		machineExp(w, e)
 	}
+	if run("feedback") {
+		feedbackExp(w, e)
+	}
+}
+
+// feedbackExp prints the analytic-vs-measured decision comparison: the
+// same unsteady implicit run per topology, priced both ways, epoch by
+// epoch.  The acceptance story: the measured loop must change at least
+// one decision on a non-flat machine without making the end-to-end
+// simulated time worse.
+func feedbackExp(w *os.File, e *core.Experiments) {
+	p, cycles := core.DefaultFeedbackProcs, core.DefaultFeedbackCycles
+	if len(e.Ps) > 0 && e.Ps[len(e.Ps)-1] < p {
+		p = e.Ps[len(e.Ps)-1]
+	}
+	models := core.FeedbackModels()
+	fmt.Fprintf(w, "running the feedback comparison (analytic vs measured pricing, %d epochs x %v, P=%d)...\n",
+		cycles, models, p)
+	pairs := e.FeedbackComparison(p, cycles, models)
+	t := report.NewTable("Feedback: gain/cost decision, analytic vs measured pricing",
+		"Model", "epoch", "decision A", "gain A", "cost A",
+		"decision M", "gain M", "cost M", "TotalV A/M", "MaxV A/M")
+	decision := func(ep core.FeedbackEpoch) string {
+		switch {
+		case ep.Balanced:
+			return "balanced"
+		case ep.Accepted:
+			return "accept"
+		default:
+			return "reject"
+		}
+	}
+	for _, pr := range pairs {
+		for i := range pr.Analytic.Epochs {
+			a, m := pr.Analytic.Epochs[i], pr.Measured.Epochs[i]
+			mark := " "
+			if decision(a) != decision(m) {
+				mark = "*"
+			}
+			t.AddRow(pr.Analytic.Model, fmt.Sprintf("%d%s", i, mark),
+				decision(a), fmt.Sprintf("%.4f", a.Gain), fmt.Sprintf("%.4f", a.Cost),
+				decision(m), fmt.Sprintf("%.4f", m.Gain), fmt.Sprintf("%.4f", m.Cost),
+				fmt.Sprintf("%d/%d", a.TotalV, m.TotalV),
+				fmt.Sprintf("%d/%d", a.MaxV, m.MaxV))
+		}
+	}
+	t.Render(w)
+	st := report.NewTable("", "Model", "decisions differing", "sim time analytic(s)", "sim time measured(s)", "measured/analytic")
+	for _, pr := range pairs {
+		ratio := 1.0
+		if pr.Analytic.SimTime > 0 {
+			ratio = pr.Measured.SimTime / pr.Analytic.SimTime
+		}
+		st.AddRow(pr.Analytic.Model, pr.DecisionDiffs(),
+			fmt.Sprintf("%.4f", pr.Analytic.SimTime),
+			fmt.Sprintf("%.4f", pr.Measured.SimTime),
+			fmt.Sprintf("%.3f", ratio))
+	}
+	st.Render(w)
+	fmt.Fprintln(w, "epoch 0 always prices analytically (no profile yet); * marks epochs where"+
+		" the measured profile changed the decision; the gain side measures the solve"+
+		" phase's real per-iteration time (waits and contention included), the cost side"+
+		" prices the move with per-message/per-byte rates calibrated from observed sends")
+	fmt.Fprintln(w)
 }
 
 func machineExp(w *os.File, e *core.Experiments) {

@@ -8,6 +8,10 @@
 // — is exported as Chrome-tracing JSON (chrome://tracing,
 // ui.perfetto.dev), the visual counterpart of the VTK mesh: the mesh
 // shows where the work lives, the trace shows when each rank did it.
+// Alongside the export, -trace prints the per-rank cost profile table
+// (internal/profile): compute, messaging overhead, and comm-wait
+// seconds decomposed by protocol (halo / collective / migration /
+// other), plus each rank's critical-path share.
 //
 // Usage: plumviz [-p procs] [-frac f] [-o out.vtk] [-trace out.json]
 package main
@@ -26,6 +30,8 @@ import (
 	"plum/internal/msg"
 	"plum/internal/partition"
 	"plum/internal/pmesh"
+	"plum/internal/profile"
+	"plum/internal/report"
 	"plum/internal/solver"
 )
 
@@ -90,5 +96,23 @@ func main() {
 		cp := event.CriticalPath(trace)
 		fmt.Printf("wrote %s (%d events, makespan %.4fs: %.4fs compute, %.4fs overhead, %.4fs comm wait on the critical path)\n",
 			*tracePath, len(trace.Records), msg.MaxTime(times), cp.Compute, cp.Overhead, cp.CommWait)
+
+		// The numeric counterpart of the timeline: each rank's cost
+		// decomposition — the same aggregation the measured-cost feedback
+		// loop prices rebalancing decisions with (internal/profile).
+		prof := profile.FromTrace(trace, 0, len(trace.Records), nil)
+		t := report.NewTable("Per-rank cost profile (simulated seconds)",
+			"Rank", "compute", "overhead", "halo wait", "coll wait",
+			"mig wait", "other wait", "CP share")
+		for r, rp := range prof.Ranks {
+			t.AddRow(r,
+				fmt.Sprintf("%.4f", rp.Compute), fmt.Sprintf("%.4f", rp.Overhead),
+				fmt.Sprintf("%.4f", rp.Wait[profile.ClassHalo]),
+				fmt.Sprintf("%.4f", rp.Wait[profile.ClassCollective]),
+				fmt.Sprintf("%.4f", rp.Wait[profile.ClassMigration]),
+				fmt.Sprintf("%.4f", rp.Wait[profile.ClassOther]),
+				fmt.Sprintf("%.1f%%", 100*prof.PathShare(r)))
+		}
+		t.Render(os.Stdout)
 	}
 }

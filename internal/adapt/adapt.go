@@ -1,26 +1,3 @@
-// Package adapt reimplements 3D_TAG, the edge-based tetrahedral mesh
-// adaption scheme of Biswas & Strawn used by the paper (Section 3): error
-// indicators target edges for refinement or coarsening; element edge
-// markings are upgraded to one of the three allowed subdivision patterns
-// (1:2, 1:4, 1:8) with fixpoint propagation; marked elements are
-// subdivided; and coarsening removes child elements, reinstates parents,
-// and re-invokes refinement to restore a valid mesh.
-//
-// The package maintains the complete refinement history ("parent edges and
-// elements are retained at each refinement step so they do not have to be
-// reconstructed"): elements, edges, and boundary faces form forests rooted
-// at the objects of the initial mesh.  Per-root subtree sizes provide the
-// two dual-graph weights of the PLUM load balancer: Wcomp (leaf elements,
-// the flow-solver workload) and Wremap (total elements, the migration
-// cost).
-//
-// Every vertex carries a stable 64-bit global id: initial vertices use
-// their initial index, and a bisection midpoint's id is a hash of its
-// parent edge's endpoint ids.  Edges are globally identified by their
-// endpoint id pair.  This naming is what lets the distributed
-// implementation (package pmesh) agree on the identity of objects created
-// independently on different processors, including new edges on shared
-// partition faces.
 package adapt
 
 import (

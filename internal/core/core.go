@@ -1,9 +1,3 @@
-// Package core implements the PLUM framework driver: the
-// solve -> adapt -> balance cycle of the paper's Fig. 1, wiring the mesh
-// adaptor (pmesh/adapt), repartitioner (partition), processor
-// reassignment and cost model (remap), and the flow-solver workload
-// (solver) together, with per-phase simulated-time accounting used to
-// regenerate the paper's figures.
 package core
 
 import (
@@ -12,6 +6,7 @@ import (
 	"plum/internal/machine"
 	"plum/internal/msg"
 	"plum/internal/partition"
+	"plum/internal/profile"
 	"plum/internal/remap"
 	"plum/internal/solver"
 )
@@ -125,6 +120,19 @@ type Config struct {
 	// tunes the PCG-backed workload when WorkloadImplicit is chosen.
 	Workload Workload
 	Implicit solver.ImplicitOptions
+
+	// Measured turns on the measured-cost feedback loop: the Unsteady
+	// driver extracts a cost profile (internal/profile) from the event
+	// trace of each epoch and hands it to the next epoch's gain/cost
+	// decision.  Requires a traced run (msg.RunTraced); on an untraced
+	// world the flag is inert and every decision stays analytic.
+	Measured bool
+	// Profile is the previous epoch's measured cost profile, set by the
+	// Unsteady driver on rank 0 (the rank that makes the gain/cost
+	// decision); every other rank leaves it nil and learns the decision
+	// from the broadcast.  Nil prices the decision analytically — the
+	// exact paper path, bitwise.
+	Profile *profile.Profile
 }
 
 // DefaultConfig returns the configuration used by the experiment

@@ -27,6 +27,14 @@ type Experiments struct {
 	// simulated run; empty keeps the pre-machine-layer uniform SP2.
 	ModelName string
 
+	// Measured turns on the measured-cost feedback loop for the
+	// experiments that drive full adaption epochs (ImplicitScaling):
+	// runs execute traced, each epoch's gain/cost decision is priced by
+	// the previous epoch's profile, and the quick evaluation really
+	// gates rebalancing (ForceAccept off).  Off, every experiment keeps
+	// the analytic pricing bitwise.
+	Measured bool
+
 	initParts map[int][]int32 // cached initial partition per P
 }
 

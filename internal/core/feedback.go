@@ -1,0 +1,175 @@
+package core
+
+import (
+	"plum/internal/adapt"
+	"plum/internal/machine"
+	"plum/internal/mesh"
+	"plum/internal/msg"
+	"plum/internal/partition"
+	"plum/internal/pmesh"
+	"plum/internal/solver"
+)
+
+// The measured-cost feedback experiment: the same unsteady implicit run
+// driven twice per topology — once with the paper's analytic gain/cost
+// pricing, once with the measured-cost loop (each epoch's decision
+// priced by the previous epoch's event-trace profile).  Both runs see
+// identical meshes, indicators, and machine models; the only degree of
+// freedom is which epochs rebalance.  Comparing them answers the
+// question the ROADMAP's event-engine follow-up poses: does pricing
+// remapping against measured waits change the decision, and is the
+// changed decision any good (end-to-end simulated time)?
+
+// FeedbackEpoch is one adaption epoch of a feedback run.
+type FeedbackEpoch struct {
+	Cycle     int
+	Balanced  bool    // evaluation step skipped the repartition
+	Accepted  bool    // new mapping adopted
+	Measured  bool    // decision priced from a profile (epoch 0 never is)
+	Gain      float64 // gain side as the decision priced it
+	Cost      float64 // cost side as the decision priced it
+	TotalV    int64   // moved weight of the candidate assignment (CTotal)
+	MaxV      int64   // bottleneck moved weight (CMax)
+	Elems     int     // global mesh size after the epoch
+	SolveTime float64 // simulated solve-phase seconds, max over ranks
+}
+
+// FeedbackRun is one complete unsteady run under one pricing mode.
+type FeedbackRun struct {
+	Model    string
+	Measured bool
+	Epochs   []FeedbackEpoch
+	SimTime  float64 // end-to-end simulated makespan of the whole run
+}
+
+// FeedbackPair is the analytic/measured comparison on one topology.
+type FeedbackPair struct {
+	Analytic, Measured FeedbackRun
+}
+
+// DecisionDiffs counts epochs where the two runs decided differently
+// (balanced/accepted outcome, not the prices).
+func (fp FeedbackPair) DecisionDiffs() int {
+	n := len(fp.Analytic.Epochs)
+	if len(fp.Measured.Epochs) < n {
+		n = len(fp.Measured.Epochs)
+	}
+	diffs := 0
+	for i := 0; i < n; i++ {
+		a, m := fp.Analytic.Epochs[i], fp.Measured.Epochs[i]
+		if a.Accepted != m.Accepted || a.Balanced != m.Balanced {
+			diffs++
+		}
+	}
+	return diffs
+}
+
+// feedbackIndicator returns the moving-shock indicator of the feedback
+// runs: the cylinder advances across the domain so the refined region —
+// and with it the imbalance the balancer must judge — shifts every
+// epoch.
+func (e *Experiments) feedbackIndicator(cycles int) func(i int) func(mesh.Vec3) float64 {
+	den := cycles - 1
+	if den < 1 {
+		den = 1
+	}
+	return func(i int) func(mesh.Vec3) float64 {
+		x := (0.25 + 0.5*float64(i)/float64(den)) * e.LX
+		return adapt.ShockCylinderIndicator(
+			mesh.Vec3{x, e.LY / 2, 0}, mesh.Vec3{0, 0, 1},
+			0.35*e.LY, 0.17*e.LY)
+	}
+}
+
+// RunFeedback drives cycles unsteady implicit epochs on p ranks of the
+// named machine with the given pricing mode and reports every epoch's
+// decision.  The measured run executes traced (the profile source);
+// tracing never touches simulated clocks, so the two modes' timings
+// diverge only where their decisions do.
+func (e *Experiments) RunFeedback(p, cycles int, model string, measured bool) FeedbackRun {
+	topo, err := machine.ByName(model, p)
+	if err != nil {
+		panic(err)
+	}
+	mod := e.Model.WithTopo(topo)
+	popt := e.Cfg.PartOpts
+	popt.TargetShares = machine.SpeedShares(topo, p)
+	initPart := partition.Partition(e.Dual, p, popt)
+	run := FeedbackRun{Model: model, Measured: measured}
+	body := func(c *msg.Comm) {
+		d := pmesh.New(c, e.Global, initPart, solver.NComp)
+		cfg := e.implicitConfig()
+		cfg.Topo = topo
+		cfg.ForceAccept = false
+		cfg.Measured = measured
+		// One solver step between adaptions puts the analytic gain —
+		// Titer, a constant calibrated for the explicit solver — in the
+		// same range as the redistribution cost, which is exactly where
+		// the decision is sensitive to pricing: the implicit workload's
+		// real per-iteration time is several times the constant, and only
+		// the measured loop can see that.
+		cfg.NAdapt = 1
+		// An implicit element migrates with its CSR matrix rows and
+		// preconditioner state on top of the Section 4.5 solver+adaptor
+		// words, so its payload is roughly three elements' worth.
+		cfg.Machine.M *= 3
+		u := NewUnsteady(d, e.Dual, cfg)
+		u.Frac = 0.12
+		u.CoarsenBelow = 0.05
+		u.Indicator = e.feedbackIndicator(cycles)
+		u.PS.InitParallel(solver.GaussianPulse(
+			mesh.Vec3{e.LX / 2, e.LY / 2, 0.6}, 0.5))
+		for i := 0; i < cycles; i++ {
+			cs := u.Cycle()
+			if c.Rank() != 0 {
+				continue
+			}
+			run.Epochs = append(run.Epochs, FeedbackEpoch{
+				Cycle:     i,
+				Balanced:  cs.Step.Balanced,
+				Accepted:  cs.Step.Accepted,
+				Measured:  cs.Step.MeasuredDecision,
+				Gain:      cs.Step.Gain,
+				Cost:      cs.Step.Cost,
+				TotalV:    cs.Step.Moved.CTotal,
+				MaxV:      cs.Step.Moved.CMax,
+				Elems:     cs.Step.Counts.Elems,
+				SolveTime: cs.SolverTime,
+			})
+		}
+	}
+	var times []float64
+	if measured {
+		times, _ = msg.RunTraced(p, mod, body)
+	} else {
+		times = msg.RunModel(p, mod, body)
+	}
+	run.SimTime = msg.MaxTime(times)
+	return run
+}
+
+// FeedbackComparison runs the analytic and measured modes on every
+// named topology.
+func (e *Experiments) FeedbackComparison(p, cycles int, models []string) []FeedbackPair {
+	pairs := make([]FeedbackPair, 0, len(models))
+	for _, name := range models {
+		pairs = append(pairs, FeedbackPair{
+			Analytic: e.RunFeedback(p, cycles, name, false),
+			Measured: e.RunFeedback(p, cycles, name, true),
+		})
+	}
+	return pairs
+}
+
+// The reduced-scale feedback experiment's shape: enough epochs for the
+// moving feature to force several rebalancing decisions after the
+// profile warms up (epoch 0 is always analytic).
+const (
+	DefaultFeedbackCycles = 4
+	DefaultFeedbackProcs  = 8
+)
+
+// FeedbackModels returns the topologies the feedback experiment
+// compares: the two where per-pair pricing and contention make the
+// analytic estimate least trustworthy.
+func FeedbackModels() []string { return []string{"smp", "fattree"} }

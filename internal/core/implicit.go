@@ -51,10 +51,16 @@ func (e *Experiments) ImplicitScaling(cycles int) []ImplicitRow {
 		initPart := e.initialPartition(p)
 		mod := e.modelFor(p)
 		var row ImplicitRow
-		msg.RunModel(p, mod, func(c *msg.Comm) {
+		body := func(c *msg.Comm) {
 			d := pmesh.New(c, e.Global, initPart, solver.NComp)
 			cfg := e.implicitConfig()
 			cfg.Topo = mod.Topo
+			if e.Measured {
+				// Measured-cost loop: decisions gate on the previous
+				// epoch's profile instead of always remapping.
+				cfg.Measured = true
+				cfg.ForceAccept = false
+			}
 			u := NewUnsteady(d, e.Dual, cfg)
 			u.Frac = 0.10
 			u.Indicator = func(int) func(mesh.Vec3) float64 { return ind }
@@ -85,7 +91,12 @@ func (e *Experiments) ImplicitScaling(cycles int) []ImplicitRow {
 				GlobalIters:  total,
 				MassDiagnost: last.Mass,
 			}
-		})
+		}
+		if e.Measured {
+			msg.RunTraced(p, mod, body)
+		} else {
+			msg.RunModel(p, mod, body)
+		}
 		rows = append(rows, row)
 	}
 	return rows

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"slices"
+
 	"plum/internal/adapt"
 	"plum/internal/dual"
 	"plum/internal/machine"
@@ -25,6 +27,18 @@ type StepStats struct {
 	Balanced  bool // evaluation step found the mesh balanced (no repartition)
 	Accepted  bool // new partitioning adopted
 	Imbalance float64
+
+	// Gain and Cost are the two sides of the acceptance test as the
+	// decision actually priced them — analytic by default, measured when
+	// a profile was supplied.  Rank 0 only (the deciding rank); other
+	// ranks report zero.  MeasuredDecision records which pricing ran.
+	Gain, Cost       float64
+	MeasuredDecision bool
+	// Repriced reports that the heterogeneous-shares re-price ran: the
+	// mapper's assignment disagreed with the provisional part j -> rank
+	// j mod P share keying, so the repartition and reassignment were
+	// re-run once with shares keyed by the realized assignment.
+	Repriced bool
 
 	WOldMax, WNewMax int64 // heaviest-rank post-refinement loads, old/new owners
 
@@ -96,13 +110,11 @@ func AdaptionStep(c *msg.Comm, d *pmesh.DistMesh, g *dual.Graph,
 	// --- Parallel repartitioning on the dual graph.  On a heterogeneous
 	// machine the per-part target loads scale with processor speed (the
 	// hetero-aware balancing); SpeedShares is nil on homogeneous
-	// machines, keeping the paper's equal targets.  The part j -> rank
-	// j%P association relies on the repartitioner seeding part ids from
-	// the current owners and the similarity mapper favouring the
-	// identity assignment (it maximizes retained data); a mapper that
-	// trades a part across generations can still land a slow-sized part
-	// on a fast rank — pricing shares through the mapper's actual
-	// assignment is a recorded ROADMAP follow-up.
+	// machines, keeping the paper's equal targets.  The provisional
+	// part j -> rank j%P share keying relies on the repartitioner
+	// seeding part ids from the current owners; whether the mapper
+	// honours that correspondence is checked — and re-priced — after
+	// the reassignment below.
 	g.SetWeights(wc, wr)
 	popt := cfg.PartOpts
 	if cfg.Topo != nil && popt.TargetShares == nil {
@@ -113,18 +125,47 @@ func AdaptionStep(c *msg.Comm, d *pmesh.DistMesh, g *dual.Graph,
 	st.PartitionTime = timer.Lap()
 
 	// --- Processor reassignment: similarity matrix rows computed in
-	// parallel, gathered at the host, mapped, scattered back.
-	s := remap.BuildSimilarityDistributed(c, d.LocalRootIDs(), wr, newPart, cfg.F)
+	// parallel, gathered at the host, mapped, scattered back.  Runs a
+	// second time when the heterogeneous re-price repartitions.
+	var s *remap.Similarity
 	var assign []int32
-	if c.Rank() == 0 {
-		assign, st.ReassignWall = ApplyMapper(cfg.Mapper, s, cfg.Topo)
-		c.Compute(mapperWork(cfg.Mapper, c.Size(), cfg.F))
-		st.Moved = remap.Cost(s, assign)
-		if cfg.Topo != nil {
-			st.Hop = remap.HopWeightedCost(s, assign, cfg.Topo)
+	reassign := func() {
+		s = remap.BuildSimilarityDistributed(c, d.LocalRootIDs(), wr, newPart, cfg.F)
+		var a []int32
+		if c.Rank() == 0 {
+			var wall float64
+			a, wall = ApplyMapper(cfg.Mapper, s, cfg.Topo)
+			st.ReassignWall += wall
+			c.Compute(mapperWork(cfg.Mapper, c.Size(), cfg.F))
+			st.Moved = remap.Cost(s, a)
+			if cfg.Topo != nil {
+				st.Hop = remap.HopWeightedCost(s, a, cfg.Topo)
+			}
+		}
+		assign = remap.BroadcastAssignment(c, a)
+	}
+	reassign()
+
+	// --- Heterogeneous re-price: the shares above assumed part j runs
+	// on rank j%P, but the broadcast assignment is the ground truth.
+	// When they disagree on a machine with non-uniform speeds, rebuild
+	// the partition with shares keyed by the realized assignment and map
+	// once more — one iteration of the partition <-> mapping fixpoint,
+	// enough to stop a slow-sized part landing on a fast processor.
+	// Every rank evaluates the same broadcast assignment, so all take
+	// the same branch.  The extra repartition is charged to the
+	// reassignment phase (PartitionTime's lap is already taken).
+	// Callers that pass explicit TargetShares have opted out of the
+	// automatic keying, so their shares are honoured as given.
+	if cfg.Topo != nil && cfg.PartOpts.TargetShares == nil {
+		if re := machine.SpeedSharesAssigned(cfg.Topo, assign); re != nil && !slices.Equal(re, popt.TargetShares) {
+			st.Repriced = true
+			popt.TargetShares = re
+			pr = partition.ParallelRepartition(c, g, c.Size()*cfg.F, d.RootOwner, popt)
+			newPart = pr.Part
+			reassign()
 		}
 	}
-	assign = remap.BroadcastAssignment(c, assign)
 	newOwner := make([]int32, len(newPart))
 	for r, np := range newPart {
 		newOwner[r] = assign[np]
@@ -151,6 +192,20 @@ func AdaptionStep(c *msg.Comm, d *pmesh.DistMesh, g *dual.Graph,
 			// guarantee the golden tests pin.
 			cost = remap.RedistributionCostTopo(cfg.Metric, s, assign, cfg.Machine, cfg.Topo)
 		}
+		if cfg.Profile != nil {
+			// Measured-cost feedback: the previous epoch's profile prices
+			// both sides of the decision.  The gain term uses the solve
+			// phase's measured per-iteration time under the current
+			// mapping (halo waits and contention included); the cost term
+			// uses per-message/per-byte/latency rates calibrated from the
+			// sends the epoch actually executed.  A nil profile — every
+			// first epoch, and every untraced or unmeasured run — takes
+			// the analytic branch above, bitwise unchanged.
+			gain = remap.MeasuredGain(cfg.Profile.PerIteration(), cfg.NAdapt, st.WOldMax, st.WNewMax)
+			cost = remap.RedistributionCostMeasured(cfg.Metric, s, assign, cfg.Machine, cfg.Topo, cfg.Profile.Rates)
+			st.MeasuredDecision = true
+		}
+		st.Gain, st.Cost = gain, cost
 		if cfg.ForceAccept || remap.Accept(gain, cost) {
 			acceptFlag = 1
 		}

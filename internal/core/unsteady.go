@@ -3,9 +3,12 @@ package core
 import (
 	"plum/internal/adapt"
 	"plum/internal/dual"
+	"plum/internal/event"
+	"plum/internal/machine"
 	"plum/internal/mesh"
 	"plum/internal/msg"
 	"plum/internal/pmesh"
+	"plum/internal/profile"
 	"plum/internal/solver"
 )
 
@@ -35,6 +38,12 @@ type Unsteady struct {
 	DT float64
 
 	cycle int
+	// prof is the previous cycle's measured cost profile (rank 0 only;
+	// nil on other ranks, on untraced runs, and before the first solve
+	// phase completes).  Each cycle hands it to AdaptionStep's gain/cost
+	// decision and replaces it after the solve phase — the measured-cost
+	// feedback loop.
+	prof *profile.Profile
 }
 
 // CycleStats extends the adaption statistics with solver accounting.
@@ -49,6 +58,11 @@ type CycleStats struct {
 	// Implicit-workload accounting (zero under WorkloadExplicit).
 	PCGIters     int  // total PCG iterations this cycle
 	PCGConverged bool // every solve hit the tolerance
+
+	// Profile is the cost profile measured over this cycle (rank 0 of a
+	// traced run with Cfg.Measured set; nil otherwise).  The *next*
+	// cycle's gain/cost decision consumes it.
+	Profile *profile.Profile
 }
 
 // NewUnsteady wires the driver over an existing distributed mesh with
@@ -69,11 +83,30 @@ func (u *Unsteady) Cycle() CycleStats {
 	ind := u.Indicator(u.cycle)
 	c := u.D.C
 
+	// Measured-cost feedback: on a traced run, remember where this
+	// cycle's records begin so the post-solve profile covers exactly one
+	// epoch (adaption + migration + solve).  Only rank 0 cuts the
+	// window — it is the rank that prices the decision — and the
+	// engine's deterministic total order makes the boundary, and with it
+	// the profile, bitwise reproducible.
+	var tr *event.Trace
+	cycleStart := 0
+	if u.Cfg.Measured {
+		tr = c.Trace()
+		if tr != nil && c.Rank() == 0 {
+			cycleStart = len(tr.Records)
+		}
+	}
+
 	if u.CoarsenBelow > 0 && u.cycle > 0 {
 		cs.Coarsen = u.D.ParallelCoarsen(ind, u.CoarsenBelow)
 	}
 	gv := u.G.WithWeights(u.G.WComp, u.G.WRemap)
-	cs.Step = AdaptionStep(c, u.D, gv, ind, u.Frac, u.Cfg)
+	cfg := u.Cfg
+	if c.Rank() == 0 {
+		cfg.Profile = u.prof
+	}
+	cs.Step = AdaptionStep(c, u.D, gv, ind, u.Frac, cfg)
 	// Rebuild only the active workload's solver: each rebuild performs
 	// a collective ownership resolution, so doing both would double the
 	// per-cycle setup cost for no benefit.
@@ -102,6 +135,23 @@ func (u *Unsteady) Cycle() CycleStats {
 		}
 	}
 	cs.SolverTime = timer.Lap()
+	if tr != nil && c.Rank() == 0 {
+		// Aggregate the epoch's records into the profile the next cycle's
+		// decision will price with: per-rank wait decomposition, critical
+		// path, solve-phase per-iteration time, and link rates calibrated
+		// from the observed sends.  An untopologized run calibrates
+		// against the flat machine (hop class 1 for every remote pair).
+		p := profile.FromTrace(tr, cycleStart, len(tr.Records), nil)
+		p.SolveSeconds = cs.SolverTime
+		p.SolveSteps = n
+		topo := u.Cfg.Topo
+		if topo == nil {
+			topo = machine.NewFlat(c.Size(), machine.SP2Link())
+		}
+		p.Rates = machine.CalibrateRates(tr.Records[cycleStart:len(tr.Records)], topo)
+		u.prof = p
+		cs.Profile = p
+	}
 	maxW := c.AllreduceInt64(int64(cs.SolverWork), msg.MaxInt64)
 	sumW := c.AllreduceInt64(int64(cs.SolverWork), msg.SumInt64)
 	if maxW > 0 {

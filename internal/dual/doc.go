@@ -1,0 +1,25 @@
+// Package dual builds and manipulates the dual graph of the initial
+// computational mesh, the key representation of the PLUM load balancer
+// (paper Section 4.1): the tetrahedral elements of the initial mesh are
+// the graph vertices, and an edge connects two graph vertices when the
+// corresponding elements share a face.
+//
+// Each dual vertex carries two weights.  Wcomp — the number of leaf
+// elements in the corresponding refinement tree — is the flow-solver
+// workload and drives partitioning balance.  Wremap — the total number of
+// elements in the tree — is the cost of migrating the element, since all
+// descendants move with their root.  Because partitioning always operates
+// on this fixed graph, "the repartitioning time depends only on the
+// initial problem size and the number of partitions, but not on the size
+// of the adapted mesh."
+//
+// Entry points.  FromMesh derives the graph from an initial mesh;
+// WithWeights produces a per-rank weight view sharing the replicated
+// topology; SetWeights installs freshly gathered weights before a
+// repartition.
+//
+// Invariants.  The graph topology never changes after construction —
+// adaption only updates weights — and vertex order equals initial-mesh
+// element order, so a partition vector indexes directly by root element
+// id everywhere in the framework.
+package dual

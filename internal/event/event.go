@@ -1,23 +1,3 @@
-// Package event provides the discrete-event execution core the msg
-// runtime schedules simulated ranks on: a deterministic engine that runs
-// P coroutine-style processes under a single execution token, a calendar
-// queue totally ordered by (time, rank, seq), an event trace recording
-// every clock-advancing operation, and a critical-path extractor over
-// the trace.
-//
-// The paper's machine model (Oliker & Biswas, SPAA 1997, Section 4.5)
-// converts communication volumes into seconds analytically; the msg
-// runtime does it operationally, one simulated clock per rank.  Before
-// this package, ranks free-ran as goroutines with private clocks, which
-// had two costs: topologies with shared-link contention (the fat tree's
-// up-links) reserved links in goroutine-scheduling order, making
-// contended timings only approximately reproducible; and there was no
-// global event order to trace or to extract a critical path from.  The
-// engine fixes both: exactly one process executes at any instant, and
-// the scheduler always resumes the runnable process with the smallest
-// (time, rank, seq) key, so every shared-resource reservation happens in
-// simulated-time order and every run is bitwise reproducible regardless
-// of GOMAXPROCS.
 package event
 
 import (

@@ -1,0 +1,150 @@
+package machine
+
+// Rate calibration: LinkParams estimated from an executed event trace
+// instead of assumed from the model's constants.  The redistribution
+// estimate of the paper's Section 4.5 prices data movement with machine
+// constants the implementor measured once, by hand; with the event
+// engine every run carries its own measurements, so the gain/cost
+// decision can price the next remapping with the per-message and
+// per-byte rates the current mapping actually achieved — including
+// contention queueing the analytic constants cannot see.
+//
+// Calibration groups traced sends by network hop distance (the same
+// metric MapTopo minimizes): one ordinary-least-squares fit of
+// span = Setup + bytes*PerByte per hop class, plus the mean observed
+// send-completion-to-arrival delay as that class's Latency.  Hop
+// classes collapse exactly the pairs the concrete models price
+// identically (intra-node vs inter-node on the SMP cluster, subtree
+// levels on the fat tree), so a handful of observations per class is
+// enough to price every pair.
+
+import "plum/internal/event"
+
+// RateObs is one hop class's calibrated link constants together with
+// the observation counts backing them.
+type RateObs struct {
+	LinkParams
+	Messages int   // traced sends in this class
+	Bytes    int64 // traced payload bytes in this class
+}
+
+// RateTable holds calibrated link constants keyed by hop distance.
+type RateTable struct {
+	ByHops map[int]RateObs
+}
+
+// Observed reports whether the table contains any calibrated class.
+func (t RateTable) Observed() bool { return len(t.ByHops) > 0 }
+
+// For returns the calibrated constants for a transfer crossing the
+// given hop distance.  An unobserved class borrows the nearest observed
+// one (ties to the larger distance: overpricing an unseen link class is
+// the safer error for an accept/reject decision); with no observations
+// at all the fallback constants are returned unchanged.
+func (t RateTable) For(hops int, fallback LinkParams) LinkParams {
+	if obs, ok := t.ByHops[hops]; ok {
+		return obs.LinkParams
+	}
+	bestH, bestDist := 0, -1
+	for h := range t.ByHops {
+		d := h - hops
+		if d < 0 {
+			d = -d
+		}
+		// The (dist, -hops) comparison is total, so the winner is
+		// independent of map iteration order.
+		if bestDist < 0 || d < bestDist || (d == bestDist && h > bestH) {
+			bestH, bestDist = h, d
+		}
+	}
+	if bestDist < 0 {
+		return fallback
+	}
+	return t.ByHops[bestH].LinkParams
+}
+
+// rateAccum accumulates the per-class regression sums.
+type rateAccum struct {
+	n                        int
+	sumB, sumT, sumBB, sumBT float64
+	bytes                    int64
+	latN                     int
+	latSum                   float64
+}
+
+// CalibrateRates fits per-hop-class link constants to the send and
+// receive records of one trace window on machine m.  Every sum is
+// accumulated in record order — the engine's deterministic total order —
+// so the result is bitwise reproducible across runs and GOMAXPROCS.
+func CalibrateRates(recs []event.Record, m Model) RateTable {
+	acc := make(map[int]*rateAccum)
+	classOf := func(src, dst int) *rateAccum {
+		h := m.Hops(src, dst)
+		a, ok := acc[h]
+		if !ok {
+			a = &rateAccum{}
+			acc[h] = a
+		}
+		return a
+	}
+	sendOf := make(map[int64]int) // MsgID -> index in recs
+	for i, r := range recs {
+		switch r.Kind {
+		case event.KindSend:
+			a := classOf(r.Rank, r.Peer)
+			span, b := r.T1-r.T0, float64(r.Bytes)
+			a.n++
+			a.sumB += b
+			a.sumT += span
+			a.sumBB += b * b
+			a.sumBT += b * span
+			a.bytes += int64(r.Bytes)
+			if r.MsgID != 0 {
+				sendOf[r.MsgID] = i
+			}
+		case event.KindRecv:
+			si, ok := sendOf[r.MsgID]
+			if !ok || r.MsgID == 0 {
+				continue
+			}
+			// Arrival - send completion is the wire latency plus any
+			// contention queueing the transfer suffered — the measured
+			// counterpart of LinkParams.Latency.
+			a := classOf(recs[si].Rank, r.Rank)
+			if lat := r.Arrival - recs[si].T1; lat >= 0 {
+				a.latN++
+				a.latSum += lat
+			}
+		}
+	}
+	out := RateTable{ByHops: make(map[int]RateObs, len(acc))}
+	for h, a := range acc {
+		var lp LinkParams
+		nf := float64(a.n)
+		if v := nf*a.sumBB - a.sumB*a.sumB; v > 0 {
+			lp.PerByte = (nf*a.sumBT - a.sumB*a.sumT) / v
+			lp.Setup = (a.sumT - lp.PerByte*a.sumB) / nf
+		} else if a.n > 0 {
+			// No size variation in this class: all span is startup.
+			lp.Setup = a.sumT / nf
+		}
+		// The engine's spans are exact sums of nonnegative charges, but a
+		// degenerate fit (e.g. two sizes whose spans happen to be
+		// collinear through a negative intercept) can extrapolate below
+		// zero; clamp to the physically meaningful range.
+		if lp.PerByte < 0 {
+			lp.PerByte = 0
+			if a.n > 0 {
+				lp.Setup = a.sumT / nf
+			}
+		}
+		if lp.Setup < 0 {
+			lp.Setup = 0
+		}
+		if a.latN > 0 {
+			lp.Latency = a.latSum / float64(a.latN)
+		}
+		out.ByHops[h] = RateObs{LinkParams: lp, Messages: a.n, Bytes: a.bytes}
+	}
+	return out
+}

@@ -1,25 +1,3 @@
-// Package machine models the simulated parallel machine as a first-class
-// object.  The paper's cost analysis (Oliker & Biswas, SPAA 1997,
-// Sections 4.4-4.6) prices every rebalancing decision against a machine:
-// the original is a flat IBM SP2 where every processor pair is
-// equidistant and every processor equally fast.  This package generalizes
-// that to a Model interface — per-pair message costs, per-rank compute
-// speed, network hop distance, and shared-link contention — with four
-// concrete machines:
-//
-//   - Flat: the uniform SP2 of the paper; bitwise-compatible with the
-//     scalar msg.CostModel constants when built from SP2Link().
-//   - SMPCluster: nodes of NodeSize ranks; cheap intra-node links
-//     (shared-memory copy) and expensive inter-node links.
-//   - FatTree: ranks at the leaves of a radix-R tree; latency grows with
-//     hop count and ranks in a leaf group serialize on a shared up-link
-//     (a contention queue).
-//   - Hetero: wraps any model with per-rank speed multipliers (two
-//     processor generations in one machine).
-//
-// The msg runtime consults the installed Model on every send, receive,
-// and compute charge; remap prices redistribution with per-pair costs;
-// and the MapTopo processor mapper minimizes hop-weighted data movement.
 package machine
 
 import "fmt"
@@ -114,21 +92,48 @@ func Uniform(m Model) bool {
 // and the partitioner's target loads.  A nil result keeps the uniform
 // targets, so homogeneous machines stay on the exact paper path.
 func SpeedShares(m Model, k int) []float64 {
-	p := m.Ranks()
-	uniform := true
-	s0 := m.Speed(0)
-	for r := 1; r < p; r++ {
-		if m.Speed(r) != s0 {
-			uniform = false
-			break
-		}
-	}
-	if uniform {
+	if speedsUniform(m) {
 		return nil
 	}
+	p := m.Ranks()
 	shares := make([]float64, k)
 	for j := 0; j < k; j++ {
 		shares[j] = m.Speed(j % p)
+	}
+	return shares
+}
+
+// speedsUniform reports whether every rank of m computes at the same
+// speed — the condition under which both share derivations return nil
+// and the framework stays on the paper's equal-target path.
+func speedsUniform(m Model) bool {
+	s0 := m.Speed(0)
+	for r := 1; r < m.Ranks(); r++ {
+		if m.Speed(r) != s0 {
+			return false
+		}
+	}
+	return true
+}
+
+// SpeedSharesAssigned returns per-part target-load shares keyed by the
+// mapper's actual part-to-rank assignment: share j is the speed of the
+// rank partition j will really run on, Speed(assign[j]).  This closes
+// the gap SpeedShares documents: the j mod P keying assumes the mapper
+// keeps the owner-seeded correspondence, but a mapper that trades a
+// part across ranks (routine at F > 1) can land a slow-sized part on a
+// fast processor.  The adaption step uses this for its one-iteration
+// re-price: partition with the provisional keying, map, and when the
+// realized assignment disagrees, repartition with the shares the
+// mapping actually implies.  Nil on homogeneous machines, so uniform
+// paths never re-price.
+func SpeedSharesAssigned(m Model, assign []int32) []float64 {
+	if speedsUniform(m) {
+		return nil
+	}
+	shares := make([]float64, len(assign))
+	for j, r := range assign {
+		shares[j] = m.Speed(int(r))
 	}
 	return shares
 }

@@ -1,0 +1,24 @@
+// Package mesh provides the unstructured tetrahedral mesh representation
+// used throughout the PLUM reproduction: vertices, edges, tetrahedral
+// elements, and external boundary faces, together with the incidence lists
+// the paper's mesh adaption scheme relies on ("each vertex has a list of
+// all the edges that are incident upon it... each edge has a list of all
+// the elements that share it").
+//
+// The paper's experiments use a 60,968-element tetrahedral mesh around a
+// UH-1H helicopter rotor blade.  That mesh is not available, so gen.go
+// provides a synthetic box mesh generator (six tetrahedra per hexahedral
+// cell, the Kuhn subdivision) that produces conforming meshes of the same
+// scale.
+//
+// Entry points.  Box builds the reduced-scale synthetic mesh;
+// PaperScaleBox matches the paper's element count; Mesh carries the
+// incidence structure every other package consumes.
+//
+// Invariants.  Object identity is positional and stable: a vertex,
+// edge, or element never changes index once created, which is what the
+// global-id discipline of internal/adapt and the replicated structures
+// of internal/pmesh build on.  Generation is deterministic — the same
+// dimensions always produce the identical mesh, the anchor of every
+// bitwise-pinned golden test downstream.
+package mesh

@@ -1,15 +1,3 @@
-// Package mesh provides the unstructured tetrahedral mesh representation
-// used throughout the PLUM reproduction: vertices, edges, tetrahedral
-// elements, and external boundary faces, together with the incidence lists
-// the paper's mesh adaption scheme relies on ("each vertex has a list of
-// all the edges that are incident upon it... each edge has a list of all
-// the elements that share it").
-//
-// The paper's experiments use a 60,968-element tetrahedral mesh around a
-// UH-1H helicopter rotor blade.  That mesh is not available, so gen.go
-// provides a synthetic box mesh generator (six tetrahedra per hexahedral
-// cell, the Kuhn subdivision) that produces conforming meshes of the same
-// scale; see DESIGN.md for the substitution rationale.
 package mesh
 
 import (

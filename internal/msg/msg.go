@@ -1,30 +1,3 @@
-// Package msg provides an MPI-style message-passing runtime for a fixed
-// group of logical processors (ranks) executing within a single process.
-//
-// The paper this repository reproduces (Oliker & Biswas, SPAA 1997) was
-// implemented in C/C++ with MPI on an IBM SP2.  Go has no MPI bindings, so
-// this package supplies the substrate: tagged point-to-point sends and
-// receives, nonblocking Isend/Irecv/Wait, the collectives the PLUM
-// framework needs (barrier, broadcast, gather, scatter, allgather, reduce,
-// allreduce, all-to-all), and a deterministic simulated machine-time model
-// (see clock.go) used to produce shape-faithful scaling curves for
-// processor counts far beyond the host's physical core count.
-//
-// Ranks execute as coroutine-style processes on the discrete-event engine
-// of internal/event: exactly one rank runs at any instant and the
-// scheduler always resumes the rank with the smallest (time, rank, seq)
-// key, so every run — including shared-link contention on topologies like
-// the fat tree — is bitwise reproducible regardless of GOMAXPROCS.  Sends
-// that cross a machine topology yield to the engine at their injection
-// time, which serializes shared-link reservations in simulated-time order
-// (the deterministic reservation pass that replaced the old
-// goroutine-scheduling-order contention queues).
-//
-// Semantics follow MPI's eager mode: sends are asynchronous and buffered
-// (they never block the sender's progress), receives block until a
-// matching message (by source and tag) arrives.  Message order between a
-// fixed (source, destination, tag) triple is FIFO, which makes every
-// algorithm built on this package deterministic.
 package msg
 
 import (
@@ -42,6 +15,12 @@ const AnyTag = -1
 // Tags below collectiveTagBase are available to user code; the collectives
 // synthesize their own tags above it from a per-rank sequence number.
 const collectiveTagBase = 1 << 24
+
+// IsCollectiveTag reports whether tag was synthesized by this package's
+// collectives (barrier, broadcast, reductions, all-to-all) rather than
+// chosen by user code.  The profile aggregator uses it to attribute
+// traced receive waits to the collective bucket.
+func IsCollectiveTag(tag int) bool { return tag >= collectiveTagBase }
 
 // Message is a received message together with its envelope.
 type Message struct {
@@ -168,6 +147,17 @@ func (c *Comm) Clock() *Clock { return &c.clock }
 
 // Elapsed returns the rank's simulated elapsed time in seconds.
 func (c *Comm) Elapsed() float64 { return c.clock.Now }
+
+// Trace returns the world's event trace, or nil when the run is
+// untraced (RunModel/Run).  The trace is shared by all ranks and grows
+// as the run executes; reading it — including len(Records) as a phase
+// boundary — is safe only while the caller's rank holds the execution
+// token, i.e. from straight-line rank code.  Because the engine
+// executes every run in one deterministic total order, the record count
+// observed at any fixed point of a rank's program is itself
+// deterministic, which is what lets the measured-cost feedback loop cut
+// bitwise-reproducible profile windows out of a live trace.
+func (c *Comm) Trace() *event.Trace { return c.world.trace }
 
 // Compute advances this rank's simulated clock by the cost of `units`
 // abstract work units under the installed cost model.  On a

@@ -1,23 +1,3 @@
-// Package partition implements a multilevel k-way graph partitioner in
-// the style of (parallel) MeTiS, which the paper uses for mesh
-// repartitioning (Section 4.2): the graph is coarsened by heavy-edge
-// matching, the coarsest graph is partitioned by greedy graph growing,
-// and the partition is projected back through the levels with boundary
-// greedy refinement ("a combination of boundary greedy and Kernighan-Lin
-// refinement").
-//
-// Two entry points matter to PLUM:
-//
-//   - Partition: partition from scratch (initial mapping).
-//   - Repartition: partition using the previous assignment as the initial
-//     guess, which is the parallel-MeTiS behaviour the paper highlights —
-//     "an additional benefit ... is the potential reduction in remapping
-//     cost since parallel MeTiS, unlike the serial version, uses the
-//     previous partition as the initial guess."
-//
-// The distributed driver that runs this machinery under the message-
-// passing runtime (with per-rank simulated cost accounting) lives in
-// parallel.go.
 package partition
 
 import (

@@ -1,17 +1,3 @@
-// Package pmesh implements the distributed-memory mesh layer of the
-// reproduction (paper Section 3, "parallel mesh adaption", and Section
-// 4.6, data remapping): each processor owns the refinement families of a
-// subset of the initial mesh's elements, shared vertices and edges carry
-// shared-processor lists (SPLs), edge marking is propagated across
-// partition boundaries with messaging rounds, and whole element families
-// migrate between processors when the load balancer adopts a new
-// partitioning.
-//
-// Identity across processors follows the global-id discipline of package
-// adapt: initial vertices keep their global initial ids and bisection
-// midpoints hash their parent edge's endpoints, so two processors that
-// independently refine copies of a shared edge agree on every derived
-// object, including new edges created across faces of the original mesh.
 package pmesh
 
 import (
@@ -230,6 +216,14 @@ const (
 	tagMigrationCounts = 1004
 	tagMigrationData   = 1005
 )
+
+// IsMigrationTag reports whether tag belongs to the data-remapping
+// protocol (Migrate's count and payload messages).  The profile
+// aggregator uses it to attribute traced receive waits to the migration
+// bucket.
+func IsMigrationTag(tag int) bool {
+	return tag == tagMigrationCounts || tag == tagMigrationData
+}
 
 // EdgeSPL returns the ranks that potentially share edge id (the
 // intersection of its endpoints' SPLs).

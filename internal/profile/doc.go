@@ -1,0 +1,35 @@
+// Package profile turns event traces into measured cost profiles — the
+// feedback half of the measured-cost rebalancing loop.
+//
+// Paper concept.  PLUM's gain/cost decision (Oliker & Biswas, SPAA
+// 1997, Sections 4.5-4.6) prices a candidate remapping against machine
+// constants calibrated once, by hand: Titer seconds of solver time per
+// element-iteration on the gain side, Tlat/Tsetup per word and message
+// on the cost side.  The discrete-event engine (internal/event) makes
+// those quantities observable instead: every epoch's trace records what
+// each rank actually computed, sent, and waited for.  This package
+// aggregates one epoch's trace window into a Profile — per-rank compute
+// / overhead / comm-wait decomposition with waits attributed to the
+// protocol that caused them (halo exchange, collectives, migration),
+// the window's critical path and each rank's share of it, the solve
+// phase's per-iteration time, and link rates calibrated from the
+// observed sends (machine.CalibrateRates) — which the next epoch's
+// decision prices with (remap.MeasuredGain,
+// remap.RedistributionCostMeasured).
+//
+// Entry points.  FromTrace aggregates a half-open record window of an
+// event.Trace; DefaultClass classifies message tags by the predicates
+// the protocol-owning packages export (msg.IsCollectiveTag,
+// linalg.IsHaloTag, pmesh.IsMigrationTag); Profile.PerIteration and
+// Profile.Rates are the two quantities the decision consumes;
+// Profile.PathShare supports the per-rank profile table plumviz
+// renders.
+//
+// Invariants.  Records are aggregated in trace order — the engine's
+// deterministic (time, rank, seq) total order — so identical runs
+// produce bitwise-identical profiles regardless of GOMAXPROCS or
+// repetition (pinned by the golden test here and the measured-decision
+// determinism tests in internal/core).  A nil profile means "price
+// analytically": consumers fall back to the paper's formulas bitwise,
+// so untraced and unmeasured runs are unchanged.
+package profile

@@ -1,9 +1,3 @@
-// Package remap implements the processor-reassignment and data-movement
-// cost machinery of the PLUM load balancer (paper Sections 4.3-4.6):
-// the similarity matrix, the three partition-to-processor mappers
-// (heuristic greedy MWBG, optimal MWBG, optimal BMCM), the TotalV / MaxV
-// cost metrics, and the computational-gain vs. redistribution-cost
-// acceptance test.
 package remap
 
 import (

@@ -1,0 +1,15 @@
+// Package report renders aligned text tables and simple ASCII series
+// plots for the experiment harness, so cmd/plumbench, cmd/plumviz, and
+// the examples present the reproduced tables and figures in a form
+// directly comparable to the paper's.
+//
+// Entry points.  NewTable + AddRow + Render produce an aligned table
+// with a title rule; Plot renders one or more Series as an ASCII
+// scatter over a labelled grid; ResidualSeries adapts a residual
+// history into a log10 convergence curve.
+//
+// Invariants.  Rendering is purely a function of the supplied values —
+// no timestamps, no environment — so experiment output can be diffed
+// bitwise across runs, which both CI's determinism job (double-run
+// diff) and the README's regenerated results tables rely on.
+package report

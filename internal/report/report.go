@@ -1,7 +1,3 @@
-// Package report renders aligned text tables and simple ASCII series
-// plots for the experiment harness, so cmd/plumbench and the examples
-// present the reproduced tables and figures in a form directly
-// comparable to the paper.
 package report
 
 import (

@@ -1,17 +1,3 @@
-// Package solver provides the flow-solver substrate of the reproduction.
-//
-// The paper's framework (Section 2) couples the load balancer to a
-// finite-volume upwind Euler solver for helicopter rotor flows: unknowns
-// live at mesh vertices, fluxes are accumulated over edges ("cell-vertex
-// edge schemes are inherently more efficient than cell-centered element
-// methods"), and the solution advances with explicit time stepping.
-// PLUM needs the solver as (a) the dominant per-element workload whose
-// balance the framework optimizes, and (b) the source of the per-edge
-// error indicator driving adaption.  This package implements an
-// edge-based explicit kernel with the same structure and data access
-// pattern — a 5-component state vector, per-edge upwind-flavoured flux,
-// per-vertex accumulate/update, ghost accumulation across partition
-// boundaries — without claiming aerodynamic fidelity (see DESIGN.md).
 package solver
 
 import (
