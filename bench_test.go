@@ -608,3 +608,69 @@ func BenchmarkOverlapPCG(b *testing.B) {
 		b.ReportMetric(rows[0].CPOverlap, "sim-cp-overlapped-s")
 	}
 }
+
+// BenchmarkSendRecvPingPong measures the runtime's per-message host
+// cost on the steady-state exchange loop: pooled payload, engine
+// handoff, mailbox take, release.  This is the unit the halo exchange
+// and the collectives are built from; it must stay allocation-free.
+func BenchmarkSendRecvPingPong(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		msg.RunModel(2, msg.SP2Model(), func(c *msg.Comm) {
+			payload := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+			peer := 1 - c.Rank()
+			for k := 0; k < 100; k++ {
+				if c.Rank() == 0 {
+					c.Send(peer, 7, payload)
+					c.Release(c.Recv(peer, 7))
+				} else {
+					c.Release(c.Recv(peer, 7))
+					c.Send(peer, 7, payload)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkExactDot measures the exact (superaccumulator) reduction —
+// the per-element cost every PCG dot product pays on every rank.
+func BenchmarkExactDot(b *testing.B) {
+	const n = 1 << 15
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = float64(i%17)*0.25 - 1
+		y[i] = float64(i%13)*0.5 - 2
+	}
+	b.SetBytes(n * 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchSinkFloat = linalg.ExactDot(x, y)
+	}
+}
+
+// BenchmarkExactAccTransport measures the reduction's transport
+// boundary: serialize a rank's accumulator, reconstruct, merge — what
+// the root does P-1 times per distributed dot.
+func BenchmarkExactAccTransport(b *testing.B) {
+	a := linalg.NewAcc()
+	a.AddProducts([]float64{1e-30, 7, -2.5e20, 3.25}, []float64{3, 1, 1, 2})
+	wire := a.Bytes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		total := linalg.NewAcc()
+		total.Merge(linalg.AccFromBytes(wire))
+		benchSinkFloat = total.Float64()
+	}
+}
+
+// BenchmarkMachineSweepWorlds measures the parallel-world harness on
+// the machine sweep (2 topologies x 2 mappers x one P): wall-clock
+// scales with host cores while every row stays bitwise fixed.
+func BenchmarkMachineSweepWorlds(b *testing.B) {
+	e := core.NewExperiments(false)
+	e.Ps = []int{8}
+	for i := 0; i < b.N; i++ {
+		rows := e.MachineSweep(0.33, []string{"smp", "fattree"}, core.MachineMappers())
+		benchSinkInt = len(rows)
+	}
+}

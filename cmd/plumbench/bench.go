@@ -1,0 +1,159 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"plum/internal/core"
+	"plum/internal/linalg"
+	"plum/internal/msg"
+	"plum/internal/report"
+)
+
+// The bench experiment: machine-readable host-performance numbers for
+// the simulation stack's hot paths, written to BENCH_sim.json.  Where
+// `go test -bench` measures the same paths interactively, this command
+// seeds the repo's perf trajectory: CI runs it on every push and uploads
+// the artifact, so regressions in ns/op, allocs/op, or the
+// simulated-vs-host throughput ratio are visible as a series.
+//
+// The simulated-vs-host ratio is the simulator's figure of merit: how
+// many simulated seconds one host second buys.  It is what bounds how
+// many epochs, models, and mesh sizes an experiment sweep can afford.
+
+// BenchResult is one benchmark's measurement.
+type BenchResult struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	// SimSecondsPerOp is the simulated time one op covers (0 for
+	// host-only kernels like the exact accumulator).
+	SimSecondsPerOp float64 `json:"sim_seconds_per_op,omitempty"`
+	// SimHostRatio is simulated seconds per host second.
+	SimHostRatio float64 `json:"sim_host_ratio,omitempty"`
+}
+
+// BenchReport is the BENCH_sim.json document.
+type BenchReport struct {
+	GoOS       string        `json:"goos"`
+	GoArch     string        `json:"goarch"`
+	GoMaxProcs int           `json:"gomaxprocs"`
+	Benchmarks []BenchResult `json:"benchmarks"`
+}
+
+// measure runs op iters times and reports host ns/op, allocs/op, and
+// the simulated-vs-host ratio from the simulated seconds op returns.
+func measure(name string, iters int, op func() float64) BenchResult {
+	op() // warm caches and lazy initialization outside the window
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	var sim float64
+	for i := 0; i < iters; i++ {
+		sim += op()
+	}
+	host := time.Since(start)
+	runtime.ReadMemStats(&m1)
+	r := BenchResult{
+		Name:        name,
+		Iterations:  iters,
+		NsPerOp:     float64(host.Nanoseconds()) / float64(iters),
+		AllocsPerOp: float64(m1.Mallocs-m0.Mallocs) / float64(iters),
+		BytesPerOp:  float64(m1.TotalAlloc-m0.TotalAlloc) / float64(iters),
+	}
+	if sim > 0 {
+		r.SimSecondsPerOp = sim / float64(iters)
+		if s := host.Seconds(); s > 0 {
+			r.SimHostRatio = sim / s
+		}
+	}
+	return r
+}
+
+// benchExp runs the hot-path benchmark suite and writes outPath.
+func benchExp(w *os.File, e *core.Experiments, outPath string) {
+	fmt.Fprintf(w, "running the host-performance benchmarks (%d host threads)...\n\n", runtime.GOMAXPROCS(0))
+
+	allreduce := func(c *msg.Comm) {
+		for i := 0; i < 50; i++ {
+			c.Compute(100)
+			c.AllreduceFloat64(float64(c.Rank()), msg.SumFloat64)
+		}
+	}
+	x := make([]float64, 1<<16)
+	y := make([]float64, 1<<16)
+	for i := range x {
+		x[i] = float64(i%17)*0.25 - 1
+		y[i] = float64(i%13)*0.5 - 2
+	}
+
+	results := []BenchResult{
+		measure("msg-allreduce/untraced-P8", 20, func() float64 {
+			return msg.MaxTime(msg.RunModel(8, msg.SP2Model(), allreduce))
+		}),
+		measure("msg-allreduce/traced-P8", 20, func() float64 {
+			times, _ := msg.RunTraced(8, msg.SP2Model(), allreduce)
+			return msg.MaxTime(times)
+		}),
+		measure("exact-dot/n-65536", 20, func() float64 {
+			benchDotSink = linalg.ExactDot(x, y)
+			return 0
+		}),
+		measure("adaption-step/fattree-P8", 3, func() float64 {
+			if err := e.UseMachine("fattree"); err != nil {
+				panic(err)
+			}
+			st := e.RunStep(8, 0.33, true, core.MapHeuristic)
+			return st.MarkTime + st.PartitionTime + st.ReassignTime + st.RemapTime + st.RefineTime
+		}),
+		measure("overlap-pcg/smp-P8", 1, func() float64 {
+			rows := e.OverlapComparison(8, []string{"smp"})
+			return rows[0].CPOverlap
+		}),
+	}
+	if err := e.UseMachine(""); err != nil {
+		panic(err) // restore the default model for any following experiment
+	}
+
+	t := report.NewTable("Host performance (see "+outPath+")",
+		"Benchmark", "iters", "ns/op", "allocs/op", "sim-s/op", "sim/host")
+	for _, r := range results {
+		simS, ratio := "-", "-"
+		if r.SimSecondsPerOp > 0 {
+			simS = fmt.Sprintf("%.4f", r.SimSecondsPerOp)
+			ratio = fmt.Sprintf("%.2f", r.SimHostRatio)
+		}
+		t.AddRow(r.Name, r.Iterations, fmt.Sprintf("%.0f", r.NsPerOp),
+			fmt.Sprintf("%.0f", r.AllocsPerOp), simS, ratio)
+	}
+	t.Render(w)
+
+	doc := BenchReport{
+		GoOS: runtime.GOOS, GoArch: runtime.GOARCH,
+		GoMaxProcs: runtime.GOMAXPROCS(0), Benchmarks: results,
+	}
+	f, err := os.Create(outPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "plumbench: -exp bench: %v\n", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	err = enc.Encode(doc)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "plumbench: -exp bench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(w, "wrote %s\n\n", outPath)
+}
+
+var benchDotSink float64

@@ -55,8 +55,11 @@ import (
 )
 
 // validExps lists the accepted -exp values in presentation order.
+// "bench" is the host-performance suite (BENCH_sim.json) and runs only
+// when named explicitly — it measures the machine running the
+// reproduction, not the machine being reproduced, so "all" excludes it.
 var validExps = []string{"all", "table1", "table2", "fig2", "fig4", "fig5",
-	"fig6", "fig7", "fig8", "implicit", "machine", "feedback"}
+	"fig6", "fig7", "fig8", "implicit", "machine", "feedback", "bench"}
 
 func usageError(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "plumbench: "+format+"\n", args...)
@@ -77,6 +80,8 @@ func main() {
 	measured := flag.Bool("measured", false, "measured-cost feedback loop: run the implicit"+
 		" experiment traced and price each epoch's gain/cost decision from the previous"+
 		" epoch's profile (off: the paper's analytic pricing, bitwise)")
+	benchout := flag.String("benchout", "BENCH_sim.json", "output path for -exp bench"+
+		" (machine-readable ns/op, allocs/op, simulated-vs-host ratio)")
 	flag.Parse()
 
 	if flag.NArg() > 0 {
@@ -100,6 +105,9 @@ func main() {
 		// experiment consults the flag.
 		usageError("-measured drives the implicit experiment's feedback loop; it requires -exp all or implicit, not %q", *exp)
 	}
+	if *benchout != "BENCH_sim.json" && *exp != "bench" {
+		usageError("-benchout is the -exp bench output path; it requires -exp bench, not %q", *exp)
+	}
 
 	e := core.NewExperiments(*paper)
 	if err := e.UseMachine(*model); err != nil {
@@ -117,6 +125,11 @@ func main() {
 	}
 	fmt.Fprintf(w, "PLUM reproduction — Oliker & Biswas, SPAA 1997 (%s: %d elements, P in %v, machine: %s)\n\n",
 		scale, e.Global.NumElems(), e.Ps, modelName)
+
+	if *exp == "bench" {
+		benchExp(w, e, *benchout)
+		return
+	}
 
 	var scaling []core.ScalingRow // shared by fig4/5/6/8
 	needScaling := func() []core.ScalingRow {

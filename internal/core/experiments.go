@@ -223,14 +223,20 @@ type MapperOutcome struct {
 
 // Table2 runs the remap-before pipeline once per processor count on the
 // Real_2 strategy and applies all three mappers to the same similarity
-// matrix, exactly as the paper's comparison does.
+// matrix, exactly as the paper's comparison does.  One world per
+// processor count, run concurrently.
 func (e *Experiments) Table2(frac float64) []Table2Row {
-	var rows []Table2Row
 	ind := e.Indicator()
+	var ps []int
 	for _, p := range e.Ps {
-		if p < 2 {
-			continue
+		if p >= 2 {
+			ps = append(ps, p)
 		}
+	}
+	e.prewarmPartitions(ps)
+	rows := make([]Table2Row, len(ps))
+	runWorlds(len(ps), func(i int) {
+		p := ps[i]
 		initPart := e.initialPartition(p)
 		var row Table2Row
 		msg.RunModel(p, e.modelFor(p), func(c *msg.Comm) {
@@ -255,8 +261,8 @@ func (e *Experiments) Table2(frac float64) []Table2Row {
 			row.Bmcm = evalMapper(MapOptBMCM)
 			row.MaxSent = row.Opt.MaxSent
 		})
-		rows = append(rows, row)
-	}
+		rows[i] = row
+	})
 	return rows
 }
 
@@ -313,32 +319,51 @@ type ScalingRow struct {
 
 // Scaling runs the full sweep: every case, every processor count, both
 // remap orderings.  This single sweep supplies Figs. 4, 5, 6 and 8.
+// Every (case, ordering, P) combination is an independent world, so the
+// sweep fans out over runWorlds; the speedup column needs the P=1
+// baseline of each (case, ordering) series, so it is derived after the
+// barrier, preserving the serial sweep's numbers exactly.
 func (e *Experiments) Scaling() []ScalingRow {
-	var rows []ScalingRow
+	e.prewarmPartitions(e.Ps)
+	type job struct {
+		cs     CaseSpec
+		before bool
+		p      int
+	}
+	var jobs []job
 	for _, cs := range e.Cases {
 		for _, before := range []bool{false, true} {
-			var t1 float64
 			for _, p := range e.Ps {
-				st := e.RunStep(p, cs.Frac, before, MapHeuristic)
-				adaptTime := st.MarkTime + st.RefineTime
-				if p == 1 {
-					t1 = adaptTime
-				}
-				speedup := 1.0
-				if adaptTime > 0 && t1 > 0 {
-					speedup = t1 / adaptTime
-				}
-				growth := 1.0
-				if n := e.Global.NumElems(); n > 0 {
-					growth = float64(st.Counts.Elems) / float64(n)
-				}
-				rows = append(rows, ScalingRow{
-					Case: cs.Name, P: p, RemapBefore: before,
-					AdaptTime: adaptTime, PartTime: st.PartitionTime,
-					RemapTime: st.RemapTime, Speedup: speedup,
-					Improvement: st.SolverImprovement(), Growth: growth,
-				})
+				jobs = append(jobs, job{cs, before, p})
 			}
+		}
+	}
+	rows := make([]ScalingRow, len(jobs))
+	runWorlds(len(jobs), func(i int) {
+		j := jobs[i]
+		st := e.RunStep(j.p, j.cs.Frac, j.before, MapHeuristic)
+		growth := 1.0
+		if n := e.Global.NumElems(); n > 0 {
+			growth = float64(st.Counts.Elems) / float64(n)
+		}
+		rows[i] = ScalingRow{
+			Case: j.cs.Name, P: j.p, RemapBefore: j.before,
+			AdaptTime: st.MarkTime + st.RefineTime, PartTime: st.PartitionTime,
+			RemapTime: st.RemapTime, Speedup: 1,
+			Improvement: st.SolverImprovement(), Growth: growth,
+		}
+	})
+	// Speedup: T_adapt(1) / T_adapt(P) within each (case, ordering).
+	var t1 float64
+	for i, j := range jobs {
+		if i%len(e.Ps) == 0 {
+			t1 = 0 // new (case, ordering) series
+		}
+		if j.p == 1 {
+			t1 = rows[i].AdaptTime
+		}
+		if rows[i].AdaptTime > 0 && t1 > 0 {
+			rows[i].Speedup = t1 / rows[i].AdaptTime
 		}
 	}
 	return rows

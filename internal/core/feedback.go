@@ -149,15 +149,18 @@ func (e *Experiments) RunFeedback(p, cycles int, model string, measured bool) Fe
 }
 
 // FeedbackComparison runs the analytic and measured modes on every
-// named topology.
+// named topology.  Each (topology, pricing-mode) epoch sweep is an
+// independent world; all 2*len(models) run concurrently.
 func (e *Experiments) FeedbackComparison(p, cycles int, models []string) []FeedbackPair {
-	pairs := make([]FeedbackPair, 0, len(models))
-	for _, name := range models {
-		pairs = append(pairs, FeedbackPair{
-			Analytic: e.RunFeedback(p, cycles, name, false),
-			Measured: e.RunFeedback(p, cycles, name, true),
-		})
-	}
+	pairs := make([]FeedbackPair, len(models))
+	runWorlds(2*len(models), func(i int) {
+		run := e.RunFeedback(p, cycles, models[i/2], i%2 == 1)
+		if i%2 == 1 {
+			pairs[i/2].Measured = run
+		} else {
+			pairs[i/2].Analytic = run
+		}
+	})
 	return pairs
 }
 

@@ -45,9 +45,11 @@ func (e *Experiments) implicitConfig() Config {
 // internal/linalg); what changes with P is the simulated time those
 // iterations cost — the communication the load balancer is minimizing.
 func (e *Experiments) ImplicitScaling(cycles int) []ImplicitRow {
-	var rows []ImplicitRow
 	ind := e.Indicator()
-	for _, p := range e.Ps {
+	e.prewarmPartitions(e.Ps)
+	rows := make([]ImplicitRow, len(e.Ps))
+	runWorlds(len(e.Ps), func(i int) {
+		p := e.Ps[i]
 		initPart := e.initialPartition(p)
 		mod := e.modelFor(p)
 		var row ImplicitRow
@@ -97,8 +99,8 @@ func (e *Experiments) ImplicitScaling(cycles int) []ImplicitRow {
 		} else {
 			msg.RunModel(p, mod, body)
 		}
-		rows = append(rows, row)
-	}
+		rows[i] = row
+	})
 	return rows
 }
 
@@ -120,7 +122,8 @@ func (e *Experiments) PrecondComparison(p int) []PrecondRow {
 	rows := make([]PrecondRow, len(kinds))
 	initPart := e.initialPartition(p)
 	ind := e.Indicator()
-	for i, kind := range kinds {
+	runWorlds(len(kinds), func(i int) {
+		kind := kinds[i]
 		msg.RunModel(p, e.modelFor(p), func(c *msg.Comm) {
 			d := pmesh.New(c, e.Global, initPart, solver.NComp)
 			d.MarkGeometricFraction(ind, 0.2)
@@ -146,6 +149,6 @@ func (e *Experiments) PrecondComparison(p int) []PrecondRow {
 				Residuals:  r.Residuals,
 			}
 		})
-	}
+	})
 	return rows
 }

@@ -40,47 +40,63 @@ const machineSweepF = 2
 // MachineSweep runs one Real_2-style adaption cycle (the full
 // AdaptionStep pipeline) per (topology, P, mapper) and reports
 // hop-weighted movement, simulated remap time, and the load-balancing
-// improvement.  Every topology in models is instantiated fresh at each
-// P; processor counts below 4 are skipped (a one-node "cluster" has no
-// topology to see).
+// improvement.  Every topology in models is instantiated fresh per
+// world (contention state is world-private); processor counts below 4
+// are skipped (a one-node "cluster" has no topology to see).  The
+// worlds are independent and run concurrently (runWorlds); row order —
+// and every simulated number — is identical to the serial sweep.
 func (e *Experiments) MachineSweep(frac float64, models []string, mappers []Mapper) []MachineRow {
-	var rows []MachineRow
 	ind := e.Indicator()
+	type job struct {
+		name   string
+		p      int
+		mapper Mapper
+	}
+	var jobs []job
+	var ps []int
+	for _, p := range e.Ps {
+		if p >= 4 {
+			ps = append(ps, p)
+		}
+	}
+	e.prewarmPartitions(ps)
 	for _, name := range models {
-		for _, p := range e.Ps {
-			if p < 4 {
-				continue
-			}
-			topo, err := machine.ByName(name, p)
-			if err != nil {
-				panic(err)
-			}
-			mod := e.Model.WithTopo(topo)
-			initPart := e.initialPartition(p)
+		for _, p := range ps {
 			for _, mapper := range mappers {
-				row := MachineRow{Model: name, P: p, Mapper: mapper}
-				msg.RunModel(p, mod, func(c *msg.Comm) {
-					d := pmesh.New(c, e.Global, initPart, 0)
-					g := e.Dual.WithWeights(e.Dual.WComp, e.Dual.WRemap)
-					cfg := e.Cfg
-					cfg.F = machineSweepF
-					cfg.Mapper = mapper
-					cfg.Topo = topo
-					cfg.ForceAccept = true
-					if mapper == MapTopo {
-						cfg.Metric = remap.MaxV
-					}
-					st := AdaptionStep(c, d, g, ind, frac, cfg)
-					if c.Rank() == 0 {
-						row.HopMaxV, row.HopTotalV = st.Hop.MaxHV, st.Hop.TotalHV
-						row.Moved = st.Moved.CTotal
-						row.RemapTime = st.RemapTime
-						row.Improvement = st.SolverImprovement()
-					}
-				})
-				rows = append(rows, row)
+				jobs = append(jobs, job{name, p, mapper})
 			}
 		}
 	}
+	rows := make([]MachineRow, len(jobs))
+	runWorlds(len(jobs), func(i int) {
+		j := jobs[i]
+		topo, err := machine.ByName(j.name, j.p)
+		if err != nil {
+			panic(err)
+		}
+		mod := e.Model.WithTopo(topo)
+		initPart := e.initialPartition(j.p)
+		row := MachineRow{Model: j.name, P: j.p, Mapper: j.mapper}
+		msg.RunModel(j.p, mod, func(c *msg.Comm) {
+			d := pmesh.New(c, e.Global, initPart, 0)
+			g := e.Dual.WithWeights(e.Dual.WComp, e.Dual.WRemap)
+			cfg := e.Cfg
+			cfg.F = machineSweepF
+			cfg.Mapper = j.mapper
+			cfg.Topo = topo
+			cfg.ForceAccept = true
+			if j.mapper == MapTopo {
+				cfg.Metric = remap.MaxV
+			}
+			st := AdaptionStep(c, d, g, ind, frac, cfg)
+			if c.Rank() == 0 {
+				row.HopMaxV, row.HopTotalV = st.Hop.MaxHV, st.Hop.TotalHV
+				row.Moved = st.Moved.CTotal
+				row.RemapTime = st.RemapTime
+				row.Improvement = st.SolverImprovement()
+			}
+		})
+		rows[i] = row
+	})
 	return rows
 }

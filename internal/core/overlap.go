@@ -100,22 +100,32 @@ func (e *Experiments) traceImplicit(p int, model string, overlap bool) ([]float6
 
 // OverlapComparison runs the blocking-vs-overlapped implicit step on
 // every named topology and reports solve times and the traced critical
-// path of each mode.
+// path of each mode.  The 2*len(models) worlds are independent
+// (traceImplicit builds a private partition and topology per call) and
+// run concurrently.
 func (e *Experiments) OverlapComparison(p int, models []string) []OverlapRow {
+	type result struct {
+		tr    *event.Trace
+		iters int
+		solve float64
+	}
+	res := make([]result, 2*len(models)) // [2i]: blocking, [2i+1]: overlapped
+	runWorlds(len(res), func(i int) {
+		_, tr, iters, solve := e.traceImplicit(p, models[i/2], i%2 == 1)
+		res[i] = result{tr, iters, solve}
+	})
 	rows := make([]OverlapRow, 0, len(models))
-	for _, name := range models {
-		row := OverlapRow{Model: name, P: p}
-		_, trB, iters, solveB := e.traceImplicit(p, name, false)
-		_, trO, itersO, solveO := e.traceImplicit(p, name, true)
-		if iters != itersO {
+	for i, name := range models {
+		b, o := res[2*i], res[2*i+1]
+		if b.iters != o.iters {
 			panic("core: overlap changed the PCG iteration sequence")
 		}
-		row.Iters = iters
-		row.SolveBlocking, row.SolveOverlap = solveB, solveO
-		cpB, cpO := event.CriticalPath(trB), event.CriticalPath(trO)
+		row := OverlapRow{Model: name, P: p, Iters: b.iters}
+		row.SolveBlocking, row.SolveOverlap = b.solve, o.solve
+		cpB, cpO := event.CriticalPath(b.tr), event.CriticalPath(o.tr)
 		row.CPBlocking, row.CPOverlap = cpB.Makespan, cpO.Makespan
 		row.WaitBlocking, row.WaitOverlap = cpB.CommWait, cpO.CommWait
-		row.TraceOverlapped = trO
+		row.TraceOverlapped = o.tr
 		rows = append(rows, row)
 	}
 	return rows

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+)
+
+// Parallel world execution.  A simulated world is hermetic: it owns its
+// event engine, mailboxes, clocks, and (per-job) machine topology, and
+// its schedule is bitwise independent of GOMAXPROCS — the engine's
+// deterministic token discipline guarantees it.  Two worlds therefore
+// never share mutable state, and the experiment sweeps — which run one
+// world per (topology, P, mapper, pricing-mode, ...) combination — are
+// embarrassingly parallel on the host even though each world is
+// internally serialized.
+//
+// The rules each caller follows to keep results byte-identical to the
+// serial sweep:
+//
+//   - shared inputs (the global mesh, the dual graph, cached initial
+//     partitions) are read-only during the fan-out; anything that
+//     mutates the harness (the initialPartition cache) is computed
+//     before it;
+//   - every job builds its own machine.Model instance — topologies
+//     carry contention state that a concurrent world must not touch;
+//   - results land in index-addressed slots, so presentation order is
+//     the loop order, not completion order.
+
+// runWorlds executes jobs 0..n-1 concurrently, bounded by GOMAXPROCS
+// host threads (each job is a full simulated world; running more worlds
+// than cores just thrashes).  A job panic skips every not-yet-started
+// job, prints the failing world's goroutine stack to stderr (the
+// re-raise below unwinds runWorlds' caller, not the world), and is
+// re-raised with the original panic value once in-flight jobs stop.
+func runWorlds(n int, job func(i int)) {
+	limit := runtime.GOMAXPROCS(0)
+	if limit > n {
+		limit = n
+	}
+	if limit <= 1 {
+		for i := 0; i < n; i++ {
+			job(i)
+		}
+		return
+	}
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		fault   any
+		faulted atomic.Bool
+	)
+	sem := make(chan struct{}, limit)
+	for i := 0; i < n; i++ {
+		if faulted.Load() {
+			break // fail fast: don't start worlds after a failure
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer func() {
+				if r := recover(); r != nil {
+					mu.Lock()
+					if fault == nil {
+						fault = r
+						fmt.Fprintf(os.Stderr, "core: world %d of %d panicked: %v\n%s",
+							i, n, r, debug.Stack())
+					}
+					mu.Unlock()
+					faulted.Store(true)
+				}
+				<-sem
+				wg.Done()
+			}()
+			job(i)
+		}(i)
+	}
+	wg.Wait()
+	if fault != nil {
+		panic(fault)
+	}
+}
+
+// prewarmPartitions fills the initial-partition cache for every listed
+// processor count.  The cache is the one mutable piece of the harness a
+// sweep touches, so it must be complete before worlds fan out.
+func (e *Experiments) prewarmPartitions(ps []int) {
+	for _, p := range ps {
+		e.initialPartition(p)
+	}
+}

@@ -34,4 +34,15 @@
 // function of the program.  Records of one rank appear in program
 // order.  Deadlock (every live process blocked) aborts the blocked
 // processes with a Deadlock panic rather than hanging.
+//
+// Performance.  The schedule fixes which process runs next, not how
+// many goroutine switches realize it: an uncontended Yield (its new key
+// still globally smallest) keeps the token and switches zero times, and
+// a contended one grants the winner directly — one handoff, not a
+// bounce through the engine goroutine, which only mediates start-up,
+// deadlock, and termination.  Fast and slow paths pop identical entry
+// sequences (pinned by TestEngineFastPathSchedule).  Traces append into
+// a pre-grown contiguous arena (Trace.Grow); the global append order is
+// the engine's total order, which downstream profile windows slice by
+// plain indices.  See docs/ARCHITECTURE.md, "Performance".
 package event

@@ -29,7 +29,7 @@ const (
 type proc struct {
 	state   pstate
 	aborted bool
-	grant   chan struct{} // engine -> process: you hold the token
+	grant   chan struct{} // previous token holder -> process: you hold the token
 }
 
 // Engine is a deterministic discrete-event scheduler for a fixed set of
@@ -53,12 +53,37 @@ type proc struct {
 // Keys processed by the scheduler are nondecreasing in time: a running
 // process only inserts keys at or after its own current time, so the
 // engine never violates causality.
+//
+// Scheduling is zero- or one-handoff.  The schedule — which process the
+// token visits, keyed (time, id, seq) — is a pure function of the
+// program, but the number of goroutine switches used to realize it is
+// not part of the contract, and the engine minimizes them:
+//
+//   - A Yield whose rescheduled key is still the globally smallest
+//     pending entry returns immediately: the caller keeps the token and
+//     no goroutine switches at all (the fast path; most yields of the
+//     reservation pass are uncontended).
+//   - Otherwise the process giving up the token pops the next entry and
+//     grants the winner directly — one handoff, not a bounce through the
+//     engine goroutine.  The engine goroutine only mediates start-up,
+//     global deadlock (calendar empty with live blocked processes), and
+//     termination.
+//
+// Both paths pop the same entries in the same order, so traces, clocks,
+// and contention resolutions are bitwise identical to the two-handoff
+// schedule (asserted by TestEngineFastPathSchedule).  noFastPath forces
+// the slow path for that test.
 type Engine struct {
 	procs []proc
 	cal   Calendar
 	seq   int64
-	token chan struct{} // process -> engine: token returned
+	live  int           // processes not yet done; token-holder owned
+	token chan struct{} // process -> engine: deadlock or termination
 	fault any           // first panic escaping a process body
+
+	// noFastPath disables the keep-the-token Yield fast path (testing
+	// only: the stress test diffs fast- and slow-path schedules).
+	noFastPath bool
 }
 
 // NewEngine returns an engine for p processes with ids 0..p-1.
@@ -78,6 +103,29 @@ func (e *Engine) nextSeq() int64 {
 	return e.seq
 }
 
+// handoff passes the execution token to the next scheduled process
+// directly, or to the engine goroutine when there is nothing to grant
+// (termination, or deadlock resolution).  The caller must hold the
+// token and must already have parked its own state.  When the winning
+// entry belongs to the calling process itself (self may only have a
+// pending entry during Yield), handoff returns true and the caller
+// keeps the token — a goroutine cannot rendezvous with its own grant
+// channel.
+func (e *Engine) handoff(self int) bool {
+	if e.live == 0 || e.cal.Len() == 0 {
+		e.token <- struct{}{}
+		return false
+	}
+	ent := e.cal.Pop()
+	p := &e.procs[ent.ID]
+	p.state = stateRunning
+	if ent.ID == self {
+		return true
+	}
+	p.grant <- struct{}{}
+	return false
+}
+
 // Run executes fn(id) for every process and returns when all have
 // finished.  Scheduling is by smallest (time, id, seq): all processes
 // start ready at time 0.  If fn panics the engine lets the remaining
@@ -90,6 +138,7 @@ func (e *Engine) Run(fn func(id int)) {
 		e.procs[i].state = stateReady
 		e.cal.Push(Entry{Time: 0, ID: i, Seq: e.nextSeq()})
 	}
+	e.live = len(e.procs)
 	for i := range e.procs {
 		go func(id int) {
 			p := &e.procs[id]
@@ -99,36 +148,30 @@ func (e *Engine) Run(fn func(id int)) {
 					e.fault = r
 				}
 				p.state = stateDone
-				e.token <- struct{}{}
+				e.live--
+				e.handoff(-1) // a finished process has no pending entry
 			}()
 			fn(id)
 		}(i)
 	}
-	live := len(e.procs)
-	for live > 0 {
-		if e.cal.Len() == 0 {
-			// Every live process is blocked: global deadlock.  Abort them
-			// so each unwinds (Block panics Deadlock in the process body)
-			// instead of leaking parked goroutines.
-			for i := range e.procs {
-				if e.procs[i].state == stateBlocked {
-					e.procs[i].aborted = true
-					e.procs[i].state = stateReady
-					e.cal.Push(Entry{Time: math.Inf(1), ID: i, Seq: e.nextSeq()})
-				}
-			}
-			if e.cal.Len() == 0 {
-				panic("event: live processes but none ready or blocked")
-			}
-			continue
-		}
-		ent := e.cal.Pop()
-		p := &e.procs[ent.ID]
-		p.state = stateRunning
-		p.grant <- struct{}{}
+	// The token circulates among the processes; it only returns here
+	// when the calendar drains — either every process is done, or the
+	// survivors are all blocked (global deadlock) and must be aborted.
+	for {
+		e.handoff(-1) // the engine is not a process
 		<-e.token
-		if p.state == stateDone {
-			live--
+		if e.live == 0 {
+			break
+		}
+		for i := range e.procs {
+			if e.procs[i].state == stateBlocked {
+				e.procs[i].aborted = true
+				e.procs[i].state = stateReady
+				e.cal.Push(Entry{Time: math.Inf(1), ID: i, Seq: e.nextSeq()})
+			}
+		}
+		if e.cal.Len() == 0 {
+			panic("event: live processes but none ready or blocked")
 		}
 	}
 	if e.fault != nil {
@@ -140,13 +183,23 @@ func (e *Engine) Run(fn func(id int)) {
 // once it is again the globally smallest pending event.  Yield does not
 // change any clock; it only defers execution, which is how operations on
 // shared simulated resources get processed in (time, rank, seq) order.
+//
+// Fast path: the engine holds at most one calendar entry per live
+// process, so when the entry just pushed is still the global minimum it
+// is necessarily the caller's own — the caller would be granted the
+// token right back, and instead keeps it without any goroutine switch.
 func (e *Engine) Yield(id int, t float64) {
 	p := &e.procs[id]
-	p.state = stateReady
 	e.cal.Push(Entry{Time: t, ID: id, Seq: e.nextSeq()})
-	e.token <- struct{}{}
+	if e.cal.Min().ID == id && !e.noFastPath {
+		e.cal.Pop()
+		return
+	}
+	p.state = stateReady
+	if e.handoff(id) {
+		return // own entry won anyway: keep the token
+	}
 	<-p.grant
-	p.state = stateRunning
 }
 
 // Block suspends the calling process until another process wakes it.
@@ -157,9 +210,8 @@ func (e *Engine) Block(id int) {
 		panic(Deadlock{ID: id})
 	}
 	p.state = stateBlocked
-	e.token <- struct{}{}
+	e.handoff(id) // self has no pending entry while blocked: never true
 	<-p.grant
-	p.state = stateRunning
 	if p.aborted {
 		panic(Deadlock{ID: id})
 	}

@@ -153,6 +153,134 @@ func TestEngineDeterministicAcrossGOMAXPROCS(t *testing.T) {
 	}
 }
 
+// stressSchedule runs a 16-process program mixing Yield, Block, Wake,
+// and early completion, recording every scheduling slot as (id, t) from
+// inside the process bodies (safe: one process runs at a time).  Even
+// processes block mid-run and are woken by their odd partners; two
+// processes finish early so the engine also schedules across a shrinking
+// live set.  With noFast the engine's keep-the-token Yield fast path is
+// disabled, so comparing the two recordings asserts the fast path
+// realizes the identical (time, rank, seq) schedule the slow path pops.
+func stressSchedule(t *testing.T, noFast bool) ([]int, []float64) {
+	t.Helper()
+	const p = 16
+	const steps = 60
+	e := NewEngine(p)
+	e.noFastPath = noFast
+	var ids []int
+	var times []float64
+	blocked := make([]bool, p)
+	e.Run(func(id int) {
+		clock := float64(id) * 0.25
+		note := func() {
+			ids = append(ids, id)
+			times = append(times, clock)
+		}
+		note()
+		for k := 0; k < steps; k++ {
+			switch {
+			case id%2 == 0 && k == 10+id/2:
+				// Block until the odd partner wakes me.
+				blocked[id] = true
+				e.Block(id)
+				blocked[id] = false
+				note()
+			case id%2 == 1 && blocked[id-1]:
+				e.Wake(id-1, clock)
+				clock += 0.125
+				e.Yield(id, clock)
+				note()
+			case id == 3 && k == 20, id == 8 && k == 25 && !blocked[8]:
+				return // early completion: the live set shrinks
+			default:
+				clock += float64((id*13+k*7)%5) * 0.5 // often 0: fast-path yields
+				e.Yield(id, clock)
+				note()
+			}
+		}
+	})
+	return ids, times
+}
+
+// TestEngineFastPathSchedule: the zero-handoff fast path and the
+// engine-mediated slow path produce identical schedules on a stress mix
+// of Yield/Block/Wake/completion.
+func TestEngineFastPathSchedule(t *testing.T) {
+	fastIDs, fastTimes := stressSchedule(t, false)
+	slowIDs, slowTimes := stressSchedule(t, true)
+	if len(fastIDs) != len(slowIDs) {
+		t.Fatalf("schedule lengths differ: fast %d, slow %d", len(fastIDs), len(slowIDs))
+	}
+	for i := range fastIDs {
+		if fastIDs[i] != slowIDs[i] || fastTimes[i] != slowTimes[i] {
+			t.Fatalf("schedules diverge at slot %d: fast (%d, %v), slow (%d, %v)",
+				i, fastIDs[i], fastTimes[i], slowIDs[i], slowTimes[i])
+		}
+	}
+}
+
+// TestEngineStressDeadlockAbort: when a stress program ends with blocked
+// processes nobody will wake, both paths abort the same set.
+func TestEngineStressDeadlockAbort(t *testing.T) {
+	run := func(noFast bool) []bool {
+		const p = 6
+		e := NewEngine(p)
+		e.noFastPath = noFast
+		aborted := make([]bool, p)
+		e.Run(func(id int) {
+			defer func() {
+				if d, ok := recover().(Deadlock); ok {
+					aborted[id] = d.ID == id
+				}
+			}()
+			for k := 0; k < 10; k++ {
+				e.Yield(id, float64((id*5+k*3)%7))
+			}
+			if id%3 == 0 {
+				e.Block(id) // no waker exists: global deadlock once others exit
+			}
+		})
+		return aborted
+	}
+	fast, slow := run(false), run(true)
+	for i := range fast {
+		want := i%3 == 0
+		if fast[i] != want || slow[i] != want {
+			t.Errorf("process %d: aborted fast=%v slow=%v, want %v", i, fast[i], slow[i], want)
+		}
+	}
+}
+
+// TestEngineFastPathManyRanks: a larger world where every yield is
+// uncontended (strictly increasing times per rank, all ranks
+// interleaved) — the fast path's bread-and-butter case — still visits
+// ranks in exact (time, rank, seq) order.
+func TestEngineFastPathManyRanks(t *testing.T) {
+	const p = 64
+	e := NewEngine(p)
+	type slot struct {
+		id int
+		t  float64
+	}
+	var got []slot
+	e.Run(func(id int) {
+		for k := 0; k < 20; k++ {
+			tk := float64(k*p + id)
+			e.Yield(id, tk)
+			got = append(got, slot{id, tk})
+		}
+	})
+	for i := 1; i < len(got); i++ {
+		if got[i].t < got[i-1].t {
+			t.Fatalf("slot %d: time %v after %v — yields processed out of order",
+				i, got[i].t, got[i-1].t)
+		}
+	}
+	if len(got) != p*20 {
+		t.Fatalf("recorded %d slots, want %d", len(got), p*20)
+	}
+}
+
 // TestCriticalPathChain: a hand-built two-rank trace — rank 1 computes,
 // sends; rank 0 computes less, then waits on the message — must put the
 // sender's compute and the wire on the path and decompose exactly.

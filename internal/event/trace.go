@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"slices"
 )
 
 // Kind classifies a traced, clock-advancing operation.
@@ -64,7 +65,22 @@ type Trace struct {
 
 // Add appends a record.  Appends are serialized by the engine's
 // execution token, so no locking is needed.
+//
+// Records is deliberately one contiguous, globally ordered arena rather
+// than per-rank lists: the global append order is the engine's
+// deterministic total order, which is what lets the measured-cost
+// feedback loop cut bitwise-reproducible profile windows out of a live
+// trace by plain [start, end) indices (internal/core's Unsteady.Cycle,
+// profile.FromTrace).  Growth is amortized by Grow — the runtime
+// pre-grows each traced world — and by append's doubling thereafter.
 func (t *Trace) Add(r Record) { t.Records = append(t.Records, r) }
+
+// Grow ensures capacity for at least n additional records without
+// reallocation, pre-growing the arena so hot recording loops do not pay
+// repeated growth copies.
+func (t *Trace) Grow(n int) {
+	t.Records = slices.Grow(t.Records, n)
+}
 
 // Makespan returns the latest completion time in the trace.
 func (t *Trace) Makespan() float64 {

@@ -1,0 +1,171 @@
+package linalg
+
+import (
+	"bytes"
+	"math"
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+// refAcc is the accumulator implementation this package used before the
+// fixed-point superaccumulator: a 4096-bit big.Float.  The tests below
+// pin the replacement to it — identical rounded sums (bitwise) and an
+// identical serialized byte stream, which is what keeps every simulated
+// message cost of the distributed dot products unchanged.
+type refAcc struct {
+	sum big.Float
+}
+
+func newRefAcc() *refAcc {
+	a := &refAcc{}
+	a.sum.SetPrec(accPrec)
+	return a
+}
+
+func (a *refAcc) add(v float64) {
+	var t big.Float
+	t.SetPrec(accPrec)
+	t.SetFloat64(v)
+	a.sum.Add(&a.sum, &t)
+}
+
+func (a *refAcc) float64() float64 {
+	f, _ := a.sum.Float64()
+	return f
+}
+
+func (a *refAcc) bytes() []byte {
+	b, err := a.sum.GobEncode()
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// randTerms draws values spread over the full float64 range, including
+// subnormals, exact cancellations, and huge/tiny mixtures — the regimes
+// where a lazy fixed-point accumulator could disagree with the exact
+// big.Float sum if its carry or rounding logic were wrong.
+func randTerms(rng *rand.Rand, n int) []float64 {
+	out := make([]float64, 0, n)
+	for len(out) < n {
+		switch rng.Intn(6) {
+		case 0: // moderate magnitudes
+			out = append(out, (rng.Float64()-0.5)*1e3)
+		case 1: // huge
+			out = append(out, math.Ldexp(rng.Float64()-0.5, 900+rng.Intn(120)))
+		case 2: // tiny and subnormal
+			out = append(out, math.Ldexp(rng.Float64()-0.5, -1000-rng.Intn(74)))
+		case 3: // exact power of two
+			out = append(out, math.Ldexp(1, rng.Intn(2000)-1000))
+		case 4: // cancellation pair
+			v := (rng.Float64() - 0.5) * math.Ldexp(1, rng.Intn(200)-100)
+			out = append(out, v, -v)
+		default: // integers (exact in both representations)
+			out = append(out, float64(rng.Intn(1<<20)-1<<19))
+		}
+	}
+	return out[:n]
+}
+
+// TestAccMatchesBigFloatReference: rounded sum and serialized bytes of
+// the superaccumulator equal the big.Float accumulator's on adversarial
+// inputs.
+func TestAccMatchesBigFloatReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 200; trial++ {
+		terms := randTerms(rng, 1+rng.Intn(64))
+		acc, ref := NewAcc(), newRefAcc()
+		for _, v := range terms {
+			acc.Add(v)
+			ref.add(v)
+		}
+		got, want := acc.Float64(), ref.float64()
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("trial %d: sum %x, reference %x (terms %v)", trial, got, want, terms)
+		}
+		if !bytes.Equal(acc.Bytes(), ref.bytes()) {
+			t.Fatalf("trial %d: serialized bytes differ from the big.Float stream", trial)
+		}
+	}
+}
+
+// TestAccSpecialSums: exact zero, pure subnormal sums, overflow to
+// infinity, and signed-zero behavior all round like the reference.
+func TestAccSpecialSums(t *testing.T) {
+	cases := [][]float64{
+		{},
+		{0, -0.0},
+		{1e308, 1e308},           // overflow: +Inf
+		{-1e308, -1e308, -1e308}, // overflow: -Inf
+		{math.SmallestNonzeroFloat64, math.SmallestNonzeroFloat64},
+		{math.SmallestNonzeroFloat64, -math.SmallestNonzeroFloat64},
+		{1.5e-323, 2e-323, -2.5e-323}, // subnormal arithmetic at the ulp
+		{math.MaxFloat64, -math.MaxFloat64, 1e-300},
+		{1, math.Ldexp(1, -60), math.Ldexp(1, -61)}, // round-to-even at the boundary
+		{1, math.Ldexp(3, -54)},
+	}
+	for i, terms := range cases {
+		acc, ref := NewAcc(), newRefAcc()
+		for _, v := range terms {
+			acc.Add(v)
+			ref.add(v)
+		}
+		got, want := acc.Float64(), ref.float64()
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Errorf("case %d (%v): sum %x, reference %x", i, terms, got, want)
+		}
+		if !bytes.Equal(acc.Bytes(), ref.bytes()) {
+			t.Errorf("case %d (%v): serialized bytes differ", i, terms)
+		}
+	}
+}
+
+// TestAccMergeTransport: merging transported accumulators (the
+// distributed Dot's root-side path) agrees with accumulating every term
+// in one place, and the wire format round-trips.
+func TestAccMergeTransport(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		terms := randTerms(rng, 40)
+		whole := NewAcc()
+		for _, v := range terms {
+			whole.Add(v)
+		}
+		// Split across 4 "ranks", serialize, merge at the root.
+		root := NewAcc()
+		for r := 0; r < 4; r++ {
+			part := NewAcc()
+			for i := r * 10; i < (r+1)*10; i++ {
+				part.Add(terms[i])
+			}
+			root.Merge(AccFromBytes(part.Bytes()))
+		}
+		if got, want := root.Float64(), whole.Float64(); math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("trial %d: merged %x, direct %x", trial, got, want)
+		}
+	}
+}
+
+// TestAccRepeatedCarryPropagation: many same-signed terms landing on
+// the same digits force carries to ripple repeatedly into the upper
+// digits (the binary-counter amortization addAt relies on), and the
+// result still rounds identically to the reference.
+func TestAccRepeatedCarryPropagation(t *testing.T) {
+	acc, ref := NewAcc(), newRefAcc()
+	const n = 1 << 20
+	for i := 0; i < n; i++ {
+		acc.Add(1.25e10)
+	}
+	var t0 big.Float
+	t0.SetPrec(accPrec)
+	t0.SetFloat64(1.25e10)
+	var nf big.Float
+	nf.SetPrec(accPrec)
+	nf.SetInt64(n)
+	ref.sum.Mul(&t0, &nf)
+	if got, want := acc.Float64(), ref.float64(); math.Float64bits(got) != math.Float64bits(want) {
+		t.Fatalf("repeated-add sum %x, reference %x", got, want)
+	}
+}

@@ -1,6 +1,7 @@
 package linalg
 
 import (
+	"encoding/binary"
 	"math"
 	"sort"
 
@@ -85,6 +86,11 @@ type DistSystem struct {
 	nnzInterior, nnzBoundary int
 
 	full []float64 // scratch: owned values followed by ghosts
+
+	// Per-exchange scratch reused across halo exchanges (one per operator
+	// application): the outgoing value gather and the receive requests.
+	sendScratch []float64
+	reqScratch  []*msg.Request
 }
 
 // vertOwner returns the owning rank of local vertex v under the exact
@@ -290,17 +296,25 @@ func (s *DistSystem) buildHalo() {
 
 // postHalo ships the owned boundary values to every halo neighbour and
 // posts the matching receives without waiting for them.  s.full[:NRows]
-// must already hold the owned values.
+// must already hold the owned values.  The gather scratch and request
+// slice are reused across calls — one halo exchange runs per operator
+// application per PCG iteration, so this path must not allocate.
 func (s *DistSystem) postHalo() []*msg.Request {
 	for _, r := range s.haloRanks {
 		list := s.sendRows[r]
-		vals := make([]float64, len(list))
+		if cap(s.sendScratch) < len(list) {
+			s.sendScratch = make([]float64, len(list))
+		}
+		vals := s.sendScratch[:len(list)]
 		for i, row := range list {
 			vals[i] = s.full[row]
 		}
-		s.C.Isend(int(r), tagHalo, msg.PutFloats(vals))
+		s.C.SendFloats(int(r), tagHalo, vals)
 	}
-	reqs := make([]*msg.Request, len(s.haloRanks))
+	if s.reqScratch == nil {
+		s.reqScratch = make([]*msg.Request, len(s.haloRanks))
+	}
+	reqs := s.reqScratch
 	for i, r := range s.haloRanks {
 		reqs[i] = s.C.Irecv(int(r), tagHalo)
 	}
@@ -309,13 +323,18 @@ func (s *DistSystem) postHalo() []*msg.Request {
 
 // finishHalo completes the posted receives and installs the ghost
 // values, in halo-rank order (the order the blocking exchange uses).
+// Ghost values decode straight out of the message payload, which then
+// returns to the world's pool.
 func (s *DistSystem) finishHalo(reqs []*msg.Request) {
 	n := s.A.NRows
 	for i, r := range s.haloRanks {
-		vals := msg.GetFloats(reqs[i].Wait().Data)
+		m := reqs[i].Wait()
 		for j, gi := range s.recvGhost[r] {
-			s.full[n+int(gi)] = vals[j]
+			s.full[n+int(gi)] = math.Float64frombits(
+				binary.LittleEndian.Uint64(m.Data[8*j:]))
 		}
+		s.C.Release(m)
+		reqs[i] = nil
 	}
 }
 

@@ -1,5 +1,10 @@
 package msg
 
+import (
+	"encoding/binary"
+	"math"
+)
+
 // Collective operations.  Every rank in the world must call each
 // collective in the same order; a per-rank sequence number synthesizes a
 // private tag so that back-to-back collectives and user point-to-point
@@ -24,14 +29,14 @@ func (c *Comm) Barrier() {
 	tag := c.nextCollTag()
 	if c.rank == 0 {
 		for src := 1; src < c.Size(); src++ {
-			c.Recv(src, tag)
+			c.Release(c.Recv(src, tag))
 		}
 		for dst := 1; dst < c.Size(); dst++ {
 			c.Send(dst, tag, nil)
 		}
 	} else {
 		c.Send(0, tag, nil)
-		c.Recv(0, tag)
+		c.Release(c.Recv(0, tag))
 	}
 	// A barrier synchronizes simulated clocks too: no rank may proceed
 	// before the slowest participant under the machine model.
@@ -39,28 +44,43 @@ func (c *Comm) Barrier() {
 	// its post-gather clock.)
 }
 
-// Bcast broadcasts data from root to all ranks using a binomial tree and
-// returns the received (or original, on root) payload.
-func (c *Comm) Bcast(root int, data []byte) []byte {
-	tag := c.nextCollTag()
+// bcastTree walks the binomial broadcast tree: recv fires once with the
+// parent on every non-root rank, then send fires for each child in
+// bit order.  It is the single definition of the tree shape — Bcast and
+// the scalar bcastWord must keep byte-identical message patterns, so
+// they share it.
+func (c *Comm) bcastTree(root, tag int, recv func(parent int), send func(child int)) {
 	size := c.Size()
 	// Relative rank so any root works with the same tree shape.
 	rel := (c.rank - root + size) % size
 	if rel != 0 {
-		// Receive from parent: clear the lowest set bit of rel.
-		parent := (rel&(rel-1) + root) % size
-		data = c.Recv(parent, tag).Data
+		// The parent clears the lowest set bit of rel.
+		recv((rel&(rel-1) + root) % size)
 	}
 	// Forward to children: set successively higher bits.
 	for bit := 1; bit < size; bit <<= 1 {
 		if rel&bit != 0 {
 			break // this rank is a leaf at and above this level
 		}
-		child := rel | bit
-		if child < size {
-			c.Send((child+root)%size, tag, data)
+		if child := rel | bit; child < size {
+			send((child + root) % size)
 		}
 	}
+}
+
+// Bcast broadcasts data from root to all ranks using a binomial tree and
+// returns the received (or original, on root) payload.
+func (c *Comm) Bcast(root int, data []byte) []byte {
+	tag := c.nextCollTag()
+	c.bcastTree(root, tag,
+		func(parent int) {
+			// The payload escapes to the caller, so only the message
+			// shell goes back to the pool.
+			m := c.Recv(parent, tag)
+			data = m.Data
+			c.world.release(m, false)
+		},
+		func(child int) { c.Send(child, tag, data) })
 	return data
 }
 
@@ -78,7 +98,9 @@ func (c *Comm) Gather(root int, data []byte) [][]byte {
 		if src == root {
 			continue
 		}
-		out[src] = c.Recv(src, tag).Data
+		m := c.Recv(src, tag)
+		out[src] = m.Data
+		c.world.release(m, false) // payload escapes in out
 	}
 	return out
 }
@@ -96,7 +118,10 @@ func (c *Comm) Scatter(root int, parts [][]byte) []byte {
 		}
 		return append([]byte(nil), parts[root]...)
 	}
-	return c.Recv(root, tag).Data
+	m := c.Recv(root, tag)
+	data := m.Data
+	c.world.release(m, false) // payload escapes to the caller
+	return data
 }
 
 // Allgather collects every rank's payload on every rank.
@@ -172,23 +197,60 @@ func (c *Comm) ReduceInt64(root int, val int64, op func(a, b int64) int64) int64
 	return acc
 }
 
-// AllreduceInt64 is ReduceInt64 followed by a broadcast of the result.
+// allreduceWord is the shared scalar allreduce: a rooted gather of one
+// 64-bit word, rank-ordered reduction at the root, and a broadcast of
+// the result.  It moves the scalar through pooled 8-byte messages with
+// the exact message pattern (tags, sources, sizes, order) of the
+// Gather+Bcast composition it replaces, so simulated costs are
+// unchanged while the hot reduction loops of the drivers stay off the
+// allocator.
+func (c *Comm) allreduceWord(w uint64, op func(acc, v uint64) uint64) uint64 {
+	tag := c.nextCollTag()
+	if c.rank == 0 {
+		for src := 1; src < c.Size(); src++ {
+			m := c.Recv(src, tag)
+			w = op(w, binary.LittleEndian.Uint64(m.Data))
+			c.Release(m)
+		}
+	} else {
+		m := c.world.getMessage(8)
+		binary.LittleEndian.PutUint64(m.Data, w)
+		c.deliver(0, tag, m)
+	}
+	return c.bcastWord(0, w)
+}
+
+// AllreduceInt64 combines each rank's int64 on every rank (op applied
+// in rank order, so non-commutative ops stay deterministic).
 func (c *Comm) AllreduceInt64(val int64, op func(a, b int64) int64) int64 {
-	r := c.ReduceInt64(0, val, op)
-	return c.BcastInts(0, []int64{r})[0]
+	return int64(c.allreduceWord(uint64(val), func(acc, v uint64) uint64 {
+		return uint64(op(int64(acc), int64(v)))
+	}))
 }
 
 // AllreduceFloat64 combines each rank's float64 on every rank.
 func (c *Comm) AllreduceFloat64(val float64, op func(a, b float64) float64) float64 {
-	parts := c.Gather(0, PutFloats([]float64{val}))
-	var acc float64
-	if c.rank == 0 {
-		acc = GetFloats(parts[0])[0]
-		for i := 1; i < len(parts); i++ {
-			acc = op(acc, GetFloats(parts[i])[0])
-		}
-	}
-	return c.BcastFloats(0, []float64{acc})[0]
+	return math.Float64frombits(c.allreduceWord(math.Float64bits(val), func(acc, v uint64) uint64 {
+		return math.Float64bits(op(math.Float64frombits(acc), math.Float64frombits(v)))
+	}))
+}
+
+// bcastWord broadcasts one 64-bit word from root with the exact message
+// pattern of Bcast on an 8-byte payload (same tree via bcastTree).
+func (c *Comm) bcastWord(root int, w uint64) uint64 {
+	tag := c.nextCollTag()
+	c.bcastTree(root, tag,
+		func(parent int) {
+			m := c.Recv(parent, tag)
+			w = binary.LittleEndian.Uint64(m.Data)
+			c.Release(m)
+		},
+		func(child int) {
+			m := c.world.getMessage(8)
+			binary.LittleEndian.PutUint64(m.Data, w)
+			c.deliver(child, tag, m)
+		})
+	return w
 }
 
 // MaxInt64 and SumInt64 are common reduce operators.
@@ -258,7 +320,9 @@ func (c *Comm) Alltoall(parts [][]byte) [][]byte {
 		if src == c.rank {
 			continue
 		}
-		out[src] = c.Recv(src, tag).Data
+		m := c.Recv(src, tag)
+		out[src] = m.Data
+		c.world.release(m, false) // payload escapes in out
 	}
 	return out
 }

@@ -38,4 +38,16 @@
 // bitwise-identically to a machine.Flat built from the same constants
 // (pinned by the golden tests in internal/core).  Tracing observes and
 // never perturbs — a traced run's clocks equal the untraced run's.
+//
+// Performance.  The runtime recycles aggressively, which is invisible
+// in simulated terms: mailboxes are intrusive doubly-linked delivery
+// lists (O(1) unlink, no per-key queue slices retaining popped
+// messages), and message structs plus size-classed payload buffers
+// return to per-world free lists via Comm.Release — automatic on the
+// decode-and-discard paths (RecvInts, RecvFloats, collective
+// internals), opt-in for callers that receive raw Messages.  All pool
+// traffic happens under the execution token: no locks, deterministic
+// recycling order.  SendInts/SendFloats encode directly into pooled
+// buffers, keeping steady-state exchange loops allocation-free
+// (TestSendRecvAllocFree).  See docs/ARCHITECTURE.md, "Performance".
 package msg

@@ -9,7 +9,9 @@ import (
 // (shared-edge marking rounds, similarity-matrix rows), float vectors
 // (solver ghost exchange), and opaque byte buffers (packed element
 // migration).  These helpers provide allocation-explicit conversions on
-// top of the raw byte transport.
+// top of the raw byte transport; the Send/Recv pairs below additionally
+// encode straight into (and release back to) the world's message pool,
+// so the per-iteration exchange loops of the solvers allocate nothing.
 
 // PutInts encodes a slice of int64 values as little-endian bytes.
 func PutInts(vals []int64) []byte {
@@ -49,14 +51,40 @@ func GetFloats(data []byte) []float64 {
 	return vals
 }
 
-// SendInts sends an int64 slice to dst.
-func (c *Comm) SendInts(dst, tag int, vals []int64) { c.Send(dst, tag, PutInts(vals)) }
+// SendInts sends an int64 slice to dst, encoding directly into a pooled
+// message buffer (no intermediate byte slice).
+func (c *Comm) SendInts(dst, tag int, vals []int64) {
+	m := c.world.getMessage(8 * len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(m.Data[8*i:], uint64(v))
+	}
+	c.deliver(dst, tag, m)
+}
 
-// RecvInts receives an int64 slice from src.
-func (c *Comm) RecvInts(src, tag int) []int64 { return GetInts(c.Recv(src, tag).Data) }
+// RecvInts receives an int64 slice from src; the transport message is
+// released back to the pool.
+func (c *Comm) RecvInts(src, tag int) []int64 {
+	m := c.Recv(src, tag)
+	vals := GetInts(m.Data)
+	c.Release(m)
+	return vals
+}
 
-// SendFloats sends a float64 slice to dst.
-func (c *Comm) SendFloats(dst, tag int, vals []float64) { c.Send(dst, tag, PutFloats(vals)) }
+// SendFloats sends a float64 slice to dst, encoding directly into a
+// pooled message buffer.
+func (c *Comm) SendFloats(dst, tag int, vals []float64) {
+	m := c.world.getMessage(8 * len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(m.Data[8*i:], math.Float64bits(v))
+	}
+	c.deliver(dst, tag, m)
+}
 
-// RecvFloats receives a float64 slice from src.
-func (c *Comm) RecvFloats(src, tag int) []float64 { return GetFloats(c.Recv(src, tag).Data) }
+// RecvFloats receives a float64 slice from src; the transport message is
+// released back to the pool.
+func (c *Comm) RecvFloats(src, tag int) []float64 {
+	m := c.Recv(src, tag)
+	vals := GetFloats(m.Data)
+	c.Release(m)
+	return vals
+}

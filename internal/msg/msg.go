@@ -2,6 +2,7 @@ package msg
 
 import (
 	"fmt"
+	"math/bits"
 
 	"plum/internal/event"
 )
@@ -33,75 +34,59 @@ type Message struct {
 	arrival float64
 	// id links the message to its trace records (0 when untraced).
 	id int64
+	// prev/next thread the message into its mailbox's delivery-order
+	// list while buffered (nil once taken), and next alone threads the
+	// world's free list once released.
+	prev, next *Message
 }
 
-// matchKey identifies a queue within a mailbox.
-type matchKey struct {
-	src int
-	tag int
-}
-
-// mailbox is the per-rank receive buffer.  The event engine grants the
-// execution token to exactly one rank at a time, so mailboxes need no
-// locking: a sender appends while holding the token, the owning rank
-// removes while holding it.
+// mailbox is the per-rank receive buffer: an intrusive doubly-linked
+// list in delivery order.  One list serves both match modes — a direct
+// (src, tag) take returns the first matching message in delivery order,
+// which is FIFO per pair, and a wildcard take is the same scan with a
+// looser predicate — and unlinking is O(1), which is what removed the
+// old O(n) removeFromOrder scan (and the popped-slot retention leak of
+// the per-key queue slices).  The event engine grants the execution
+// token to exactly one rank at a time, so mailboxes need no locking:
+// a sender links while holding the token, the owning rank unlinks while
+// holding it, and delivery order — and with it wildcard matching — is
+// deterministic because the engine's schedule is.
 type mailbox struct {
-	queues map[matchKey][]*Message
-	// order preserves delivery order for AnySource/AnyTag matching.
-	// Deliveries happen in the engine's deterministic schedule, so
-	// wildcard matching is deterministic too.
-	order []*Message
-}
-
-func newMailbox() *mailbox {
-	return &mailbox{queues: make(map[matchKey][]*Message)}
+	head, tail *Message
 }
 
 func (mb *mailbox) put(m *Message) {
-	k := matchKey{m.Src, m.Tag}
-	mb.queues[k] = append(mb.queues[k], m)
-	mb.order = append(mb.order, m)
+	m.prev = mb.tail
+	m.next = nil
+	if mb.tail != nil {
+		mb.tail.next = m
+	} else {
+		mb.head = m
+	}
+	mb.tail = m
 }
 
-// tryTake removes and returns the first message matching (src, tag), or
-// nil when none is buffered.
+// tryTake removes and returns the first message matching (src, tag) in
+// delivery order, or nil when none is buffered.  src may be AnySource
+// and tag may be AnyTag.
 func (mb *mailbox) tryTake(src, tag int) *Message {
-	if src != AnySource && tag != AnyTag {
-		k := matchKey{src, tag}
-		q := mb.queues[k]
-		if len(q) == 0 {
-			return nil
-		}
-		m := q[0]
-		mb.queues[k] = q[1:]
-		mb.removeFromOrder(m)
-		return m
-	}
-	// Wildcard match: scan delivery order.
-	for i, m := range mb.order {
+	for m := mb.head; m != nil; m = m.next {
 		if (src == AnySource || m.Src == src) && (tag == AnyTag || m.Tag == tag) {
-			mb.order = append(mb.order[:i], mb.order[i+1:]...)
-			k := matchKey{m.Src, m.Tag}
-			q := mb.queues[k]
-			for j, qm := range q {
-				if qm == m {
-					mb.queues[k] = append(q[:j], q[j+1:]...)
-					break
-				}
+			if m.prev != nil {
+				m.prev.next = m.next
+			} else {
+				mb.head = m.next
 			}
+			if m.next != nil {
+				m.next.prev = m.prev
+			} else {
+				mb.tail = m.prev
+			}
+			m.prev, m.next = nil, nil
 			return m
 		}
 	}
 	return nil
-}
-
-func (mb *mailbox) removeFromOrder(m *Message) {
-	for i, om := range mb.order {
-		if om == m {
-			mb.order = append(mb.order[:i], mb.order[i+1:]...)
-			return
-		}
-	}
 }
 
 // waitState records what a blocked rank is waiting for, so deliveries
@@ -116,15 +101,77 @@ type waitState struct {
 	clock    float64 // the rank's clock when it blocked
 }
 
+// numSizeClasses bounds the payload free-list size classes: class c
+// holds buffers of capacity exactly 1<<c, so class 47 (128 TiB) is
+// unreachable in practice and indexing never needs a range check
+// beyond the class computation.
+const numSizeClasses = 48
+
 // World holds the shared state of a group of ranks.
 type World struct {
 	size    int
-	boxes   []*mailbox
+	boxes   []mailbox
 	model   *CostModel    // nil means no simulated timing
 	eng     *event.Engine // the execution substrate
 	trace   *event.Trace  // nil unless the run is traced
 	msgSeq  int64         // message ids for trace edges
 	waiting []waitState   // per-rank blocked-receive state
+
+	// Runtime free lists.  All pool operations happen while the caller
+	// holds the execution token, so — like the mailboxes — they need no
+	// locking and recycle in a deterministic order.  freeShells chains
+	// released Message structs through their next pointers; freeBufs[c]
+	// stacks released payload buffers of capacity exactly 1<<c.
+	freeShells *Message
+	freeBufs   [numSizeClasses][][]byte
+}
+
+// sizeClass returns the free-list class whose buffers hold n bytes:
+// the smallest c with 1<<c >= n.
+func sizeClass(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return bits.Len(uint(n - 1))
+}
+
+// getMessage returns a message with a zeroed envelope and Data sized to
+// n bytes (contents undefined), recycling a released struct and buffer
+// when available.
+func (w *World) getMessage(n int) *Message {
+	m := w.freeShells
+	if m != nil {
+		w.freeShells = m.next
+		m.next = nil
+	} else {
+		m = &Message{}
+	}
+	if n > 0 {
+		c := sizeClass(n)
+		if bl := w.freeBufs[c]; len(bl) > 0 {
+			m.Data = bl[len(bl)-1][:n]
+			w.freeBufs[c] = bl[:len(bl)-1]
+		} else {
+			m.Data = make([]byte, n, 1<<c)
+		}
+	}
+	return m
+}
+
+// release returns a message struct — and, when withData is set, its
+// payload buffer — to the world's free lists.  withData=false is for
+// messages whose Data escaped to user code (Bcast, Gather, ... return
+// payloads by reference); the shell is recycled, the buffer stays with
+// its new owner.
+func (w *World) release(m *Message, withData bool) {
+	if withData {
+		if c := cap(m.Data); c > 0 && c&(c-1) == 0 {
+			cl := bits.Len(uint(c)) - 1
+			w.freeBufs[cl] = append(w.freeBufs[cl], m.Data[:0])
+		}
+	}
+	*m = Message{next: w.freeShells}
+	w.freeShells = m
 }
 
 // Comm is one rank's handle to the world.  It is not safe for concurrent
@@ -158,6 +205,15 @@ func (c *Comm) Elapsed() float64 { return c.clock.Now }
 // deterministic, which is what lets the measured-cost feedback loop cut
 // bitwise-reproducible profile windows out of a live trace.
 func (c *Comm) Trace() *event.Trace { return c.world.trace }
+
+// Release returns a received message — struct and payload buffer — to
+// the world's free pool, where the next Send will recycle them.  The
+// caller must not touch m or m.Data afterwards.  Releasing is optional
+// (an unreleased message is ordinary garbage) but keeps hot exchange
+// loops allocation-free; the runtime's own decode-and-discard paths
+// (RecvInts, RecvFloats, the collectives' internal receives) release
+// automatically.
+func (c *Comm) Release(m *Message) { c.world.release(m, true) }
 
 // Compute advances this rank's simulated clock by the cost of `units`
 // abstract work units under the installed cost model.  On a
@@ -197,12 +253,19 @@ func (c *Comm) traceLocal(t0 float64) {
 // the receiver.  The payload is copied, so the caller may reuse the
 // slice.
 func (c *Comm) Send(dst, tag int, data []byte) {
+	m := c.world.getMessage(len(data))
+	copy(m.Data, data)
+	c.deliver(dst, tag, m)
+}
+
+// deliver injects a pooled message whose Data the caller has already
+// filled: the charging, contention, tracing, and wake logic shared by
+// Send and the encode-in-place senders (SendInts, SendFloats).
+func (c *Comm) deliver(dst, tag int, m *Message) {
 	if dst < 0 || dst >= c.world.size {
 		panic(fmt.Sprintf("msg: send to invalid rank %d (size %d)", dst, c.world.size))
 	}
-	buf := make([]byte, len(data))
-	copy(buf, data)
-	m := &Message{Src: c.rank, Tag: tag, Data: buf}
+	m.Src, m.Tag = c.rank, tag
 	w := c.world
 	t0 := c.clock.Now
 	if mod := w.model; mod != nil {
@@ -215,7 +278,7 @@ func (c *Comm) Send(dst, tag int, data []byte) {
 			lp := mod.Topo.Pair(c.rank, dst)
 			setup, perByte, latency = lp.Setup, lp.PerByte, lp.Latency
 		}
-		c.clock.Now += setup + float64(len(data))*perByte
+		c.clock.Now += setup + float64(len(m.Data))*perByte
 		depart := c.clock.Now
 		if mod.Topo != nil {
 			if mod.Topo.Contended(c.rank, dst) {
@@ -228,7 +291,7 @@ func (c *Comm) Send(dst, tag int, data []byte) {
 				// scalar model.
 				w.eng.Yield(c.rank, depart)
 			}
-			depart = mod.Topo.Acquire(c.rank, dst, len(data), depart)
+			depart = mod.Topo.Acquire(c.rank, dst, len(m.Data), depart)
 		}
 		m.arrival = depart + latency
 	}
@@ -237,7 +300,7 @@ func (c *Comm) Send(dst, tag int, data []byte) {
 		m.id = w.msgSeq
 		tr.Add(event.Record{
 			Rank: c.rank, Kind: event.KindSend, T0: t0, T1: c.clock.Now,
-			Peer: dst, Tag: tag, Bytes: len(data), MsgID: m.id,
+			Peer: dst, Tag: tag, Bytes: len(m.Data), MsgID: m.id,
 		})
 	}
 	w.boxes[dst].put(m)
@@ -267,7 +330,7 @@ func (c *Comm) Send(dst, tag int, data []byte) {
 // gather cost the root ~P message receipts — the host-side bottleneck the
 // paper's Section 4.2 warns about for serial partitioning.
 func (c *Comm) Recv(src, tag int) *Message {
-	mb := c.world.boxes[c.rank]
+	mb := &c.world.boxes[c.rank]
 	t0 := c.clock.Now
 	m := mb.tryTake(src, tag)
 	for m == nil {
@@ -332,13 +395,11 @@ func runWorld(p int, model *CostModel, traced bool, fn func(*Comm)) ([]float64, 
 		// Fresh contention state per run so a model can be reused.
 		model.Topo.Reset()
 	}
-	w := &World{size: p, boxes: make([]*mailbox, p), model: model,
+	w := &World{size: p, boxes: make([]mailbox, p), model: model,
 		eng: event.NewEngine(p), waiting: make([]waitState, p)}
 	if traced {
 		w.trace = &event.Trace{P: p}
-	}
-	for i := range w.boxes {
-		w.boxes[i] = newMailbox()
+		w.trace.Grow(64 * p)
 	}
 	comms := make([]*Comm, p)
 	for i := range comms {
