@@ -1,0 +1,115 @@
+// Command benchcmp compares two BENCH_sim.json artifacts (see plumbench
+// -exp bench) benchmark by benchmark and warns when the current run is
+// slower than the baseline past a threshold.  CI runs it against the
+// committed baseline on every push; the threshold is deliberately loose
+// (shared runners are noisy — 2x, not 10%) so it catches structural
+// regressions, not jitter.  Warnings use the GitHub Actions ::warning
+// annotation format so they surface on the workflow run; -strict turns
+// them into a non-zero exit for local bisection.
+//
+// Usage: benchcmp [-threshold 2.0] [-strict] baseline.json current.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+// benchResult mirrors plumbench's BenchResult; only the compared fields
+// are declared so the two commands can evolve independently.
+type benchResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+type benchReport struct {
+	GitSHA     string        `json:"git_sha"`
+	Benchmarks []benchResult `json:"benchmarks"`
+}
+
+func load(path string) (*benchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r benchReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return &r, nil
+}
+
+func main() {
+	threshold := flag.Float64("threshold", 2.0, "warn when current ns/op exceeds"+
+		" baseline by this factor")
+	strict := flag.Bool("strict", false, "exit non-zero on any warning")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchcmp [-threshold f] [-strict] baseline.json current.json")
+		os.Exit(2)
+	}
+	base, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcmp: %v\n", err)
+		os.Exit(1)
+	}
+	cur, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcmp: %v\n", err)
+		os.Exit(1)
+	}
+
+	baseline := make(map[string]benchResult, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		baseline[b.Name] = b
+	}
+	fmt.Printf("benchcmp: baseline %s (git %s) vs current %s (git %s), threshold %.2fx\n",
+		flag.Arg(0), orUnknown(base.GitSHA), flag.Arg(1), orUnknown(cur.GitSHA), *threshold)
+
+	warnings := 0
+	for _, c := range cur.Benchmarks {
+		b, ok := baseline[c.Name]
+		if !ok {
+			fmt.Printf("  %-28s (new — no baseline)\n", c.Name)
+			continue
+		}
+		ratio := 0.0
+		if b.NsPerOp > 0 {
+			ratio = c.NsPerOp / b.NsPerOp
+		}
+		fmt.Printf("  %-28s %12.0f -> %12.0f ns/op  (%.2fx)\n", c.Name, b.NsPerOp, c.NsPerOp, ratio)
+		if ratio > *threshold {
+			fmt.Printf("::warning title=benchmark regression::%s is %.2fx slower than"+
+				" baseline (%.0f -> %.0f ns/op, threshold %.2fx)\n",
+				c.Name, ratio, b.NsPerOp, c.NsPerOp, *threshold)
+			warnings++
+		}
+	}
+	for _, b := range base.Benchmarks {
+		found := false
+		for _, c := range cur.Benchmarks {
+			if c.Name == b.Name {
+				found = true
+				break
+			}
+		}
+		if !found {
+			fmt.Printf("::warning title=benchmark missing::%s is in the baseline but not the"+
+				" current run\n", b.Name)
+			warnings++
+		}
+	}
+	if warnings > 0 && *strict {
+		os.Exit(1)
+	}
+}
+
+func orUnknown(s string) string {
+	if s == "" {
+		return "unknown"
+	}
+	return s
+}

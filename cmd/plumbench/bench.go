@@ -3,6 +3,7 @@ package main
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"time"
@@ -38,11 +39,17 @@ type BenchResult struct {
 	SimHostRatio float64 `json:"sim_host_ratio,omitempty"`
 }
 
-// BenchReport is the BENCH_sim.json document.
+// BenchReport is the BENCH_sim.json document.  The provenance fields
+// (git revision, CPU count, timestamp) make one artifact comparable
+// against another in a perf series — same revision, different machine,
+// or same machine, different revision.
 type BenchReport struct {
 	GoOS       string        `json:"goos"`
 	GoArch     string        `json:"goarch"`
 	GoMaxProcs int           `json:"gomaxprocs"`
+	NumCPU     int           `json:"num_cpu"`
+	GitSHA     string        `json:"git_sha"`
+	Timestamp  string        `json:"timestamp"` // RFC3339 UTC
 	Benchmarks []BenchResult `json:"benchmarks"`
 }
 
@@ -77,7 +84,7 @@ func measure(name string, iters int, op func() float64) BenchResult {
 }
 
 // benchExp runs the hot-path benchmark suite and writes outPath.
-func benchExp(w *os.File, e *core.Experiments, outPath string) {
+func benchExp(w io.Writer, e *core.Experiments, outPath string) {
 	fmt.Fprintf(w, "running the host-performance benchmarks (%d host threads)...\n\n", runtime.GOMAXPROCS(0))
 
 	allreduce := func(c *msg.Comm) {
@@ -136,7 +143,10 @@ func benchExp(w *os.File, e *core.Experiments, outPath string) {
 
 	doc := BenchReport{
 		GoOS: runtime.GOOS, GoArch: runtime.GOARCH,
-		GoMaxProcs: runtime.GOMAXPROCS(0), Benchmarks: results,
+		GoMaxProcs: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(),
+		GitSHA:     gitRevision(),
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		Benchmarks: results,
 	}
 	f, err := os.Create(outPath)
 	if err != nil {

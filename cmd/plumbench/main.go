@@ -41,8 +41,12 @@
 package main
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"flag"
 	"fmt"
+	"hash"
+	"io"
 	"math"
 	"os"
 	"strings"
@@ -50,6 +54,7 @@ import (
 	"plum/internal/core"
 	"plum/internal/event"
 	"plum/internal/machine"
+	"plum/internal/obs"
 	"plum/internal/report"
 	"plum/internal/solver"
 )
@@ -82,6 +87,13 @@ func main() {
 		" epoch's profile (off: the paper's analytic pricing, bitwise)")
 	benchout := flag.String("benchout", "BENCH_sim.json", "output path for -exp bench"+
 		" (machine-readable ns/op, allocs/op, simulated-vs-host ratio)")
+	obsPath := flag.String("obs", "", "write a run ledger (JSONL) to this file: manifest,"+
+		" one record per adaption epoch of the epoch-driving experiments (implicit,"+
+		" feedback), host-metrics snapshot, end record with an output checksum."+
+		" Observation only: simulated outputs are byte-identical with or without it")
+	serveAddr := flag.String("serve", "", "serve /metrics (Prometheus text), /runs,"+
+		" /healthz, and /debug/pprof on this address during and after the run"+
+		" (e.g. 127.0.0.1:9090); the process then stays up until interrupted")
 	flag.Parse()
 
 	if flag.NArg() > 0 {
@@ -114,7 +126,32 @@ func main() {
 		usageError("%v", err)
 	}
 	e.Measured = *measured
-	w := os.Stdout
+
+	// The rendered output goes to stdout; with -obs it is teed through a
+	// checksum so the ledger's end record ties the JSONL to the exact
+	// tables this run printed.
+	var w io.Writer = os.Stdout
+	var outSum hash.Hash
+	if *obsPath != "" {
+		m := buildManifest(*paper, *exp, e.ModelName, *measured, e.Global.NumElems(), e.Ps)
+		ledger, err := obs.Create(*obsPath, m)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "plumbench: -obs: %v\n", err)
+			os.Exit(1)
+		}
+		e.Obs = ledger
+		outSum = sha256.New()
+		w = io.MultiWriter(os.Stdout, outSum)
+	}
+	var srv *server
+	if *serveAddr != "" {
+		var err error
+		if srv, err = startServe(*serveAddr, *obsPath); err != nil {
+			fmt.Fprintf(os.Stderr, "plumbench: -serve: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
 	scale := "reduced scale"
 	if *paper {
 		scale = "paper scale"
@@ -126,8 +163,29 @@ func main() {
 	fmt.Fprintf(w, "PLUM reproduction — Oliker & Biswas, SPAA 1997 (%s: %d elements, P in %v, machine: %s)\n\n",
 		scale, e.Global.NumElems(), e.Ps, modelName)
 
+	// finishRun seals the ledger (metrics snapshot + output checksum) and
+	// hands off to the serve loop; it runs after ANY experiment path.
+	finishRun := func() {
+		if e.Obs != nil {
+			sum := ""
+			if outSum != nil {
+				sum = hex.EncodeToString(outSum.Sum(nil))
+			}
+			epochs := e.Obs.Epochs()
+			if err := e.Obs.Close(obs.Default.Snapshot(), sum); err != nil {
+				fmt.Fprintf(os.Stderr, "plumbench: -obs: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "plumbench: wrote ledger %s (%d epochs)\n", *obsPath, epochs)
+		}
+		if srv != nil {
+			srv.finish() // never returns
+		}
+	}
+
 	if *exp == "bench" {
 		benchExp(w, e, *benchout)
+		finishRun()
 		return
 	}
 
@@ -176,6 +234,7 @@ func main() {
 	if run("feedback") {
 		feedbackExp(w, e)
 	}
+	finishRun()
 }
 
 // feedbackExp prints the analytic-vs-measured decision comparison: the
@@ -183,7 +242,7 @@ func main() {
 // epoch.  The acceptance story: the measured loop must change at least
 // one decision on a non-flat machine without making the end-to-end
 // simulated time worse.
-func feedbackExp(w *os.File, e *core.Experiments) {
+func feedbackExp(w io.Writer, e *core.Experiments) {
 	p, cycles := core.DefaultFeedbackProcs, core.DefaultFeedbackCycles
 	if len(e.Ps) > 0 && e.Ps[len(e.Ps)-1] < p {
 		p = e.Ps[len(e.Ps)-1]
@@ -239,7 +298,7 @@ func feedbackExp(w *os.File, e *core.Experiments) {
 	fmt.Fprintln(w)
 }
 
-func machineExp(w *os.File, e *core.Experiments) {
+func machineExp(w io.Writer, e *core.Experiments) {
 	fmt.Fprintln(w, "running the machine sweep (4 topologies x 2 mappers x P sweep, Real_2)...")
 	rows := e.MachineSweep(0.33, machine.Names(), core.MachineMappers())
 	t := report.NewTable("Machine sweep: hop-weighted data movement by topology and mapper",
@@ -271,7 +330,7 @@ func machineExp(w *os.File, e *core.Experiments) {
 	fmt.Fprintln(w)
 }
 
-func implicitExp(w *os.File, e *core.Experiments, tracePath string) {
+func implicitExp(w io.Writer, e *core.Experiments, tracePath string) {
 	fmt.Fprintln(w, "running the implicit workload (PCG on the adapted mesh, 2 cycles x P sweep)...")
 	rows := e.ImplicitScaling(2)
 	t := report.NewTable("Implicit workload: PCG-backed solve->adapt->balance cycle",
@@ -354,7 +413,7 @@ func implicitExp(w *os.File, e *core.Experiments, tracePath string) {
 	}
 }
 
-func table1(w *os.File, e *core.Experiments) {
+func table1(w io.Writer, e *core.Experiments) {
 	t := report.NewTable("Table 1: grid sizes for the three refinement strategies",
 		"Case", "Vertices", "Elements", "Edges", "BdyFaces", "Growth G")
 	for _, r := range e.Table1() {
@@ -366,7 +425,7 @@ func table1(w *os.File, e *core.Experiments) {
 	fmt.Fprintln(w)
 }
 
-func fig2(w *os.File) {
+func fig2(w io.Writer) {
 	r := core.Fig2()
 	fmt.Fprintln(w, "Figure 2: similarity-matrix worked example (structural reproduction)")
 	fmt.Fprintln(w, "  S =")
@@ -385,7 +444,7 @@ func fig2(w *os.File) {
 		r.ObjectiveHeu, r.ObjectiveOpt, r.HeuristicBoundHolds)
 }
 
-func table2(w *os.File, e *core.Experiments) {
+func table2(w io.Writer, e *core.Experiments) {
 	fmt.Fprintln(w, "running Table 2 (Real_2, three mappers per P)...")
 	rows := e.Table2(0.33)
 	t := report.NewTable("Table 2: mapper comparison, Real_2 strategy",
@@ -403,7 +462,7 @@ func table2(w *os.File, e *core.Experiments) {
 	fmt.Fprintln(w)
 }
 
-func fig4(w *os.File, rows []core.ScalingRow) {
+func fig4(w io.Writer, rows []core.ScalingRow) {
 	var series []report.Series
 	for _, cs := range []string{"Real_1", "Real_2", "Real_3"} {
 		for _, before := range []bool{true, false} {
@@ -424,7 +483,7 @@ func fig4(w *os.File, rows []core.ScalingRow) {
 	t.Render(w)
 }
 
-func fig5(w *os.File, rows []core.ScalingRow) {
+func fig5(w io.Writer, rows []core.ScalingRow) {
 	t := report.NewTable("Figure 5: remapping time (simulated seconds)",
 		"Case", "P", "Remap(before)", "Remap(after)", "after/before")
 	for _, cs := range []string{"Real_1", "Real_2", "Real_3"} {
@@ -442,11 +501,11 @@ func fig5(w *os.File, rows []core.ScalingRow) {
 		}
 	}
 	t.Render(w)
-	os.Stdout.WriteString("paper shape: remapping before refinement is uniformly cheaper;" +
+	io.WriteString(w, "paper shape: remapping before refinement is uniformly cheaper;"+
 		" biggest absolute win for Real_3 (3.71s -> 1.03s on 64 procs)\n\n")
 }
 
-func fig6(w *os.File, rows []core.ScalingRow) {
+func fig6(w io.Writer, rows []core.ScalingRow) {
 	t := report.NewTable("Figure 6: anatomy of execution time, remap-before (simulated seconds)",
 		"Case", "P", "Adaption", "Partitioning", "Remapping")
 	for _, cs := range []string{"Real_1", "Real_2", "Real_3"} {
@@ -463,7 +522,7 @@ func fig6(w *os.File, rows []core.ScalingRow) {
 	fmt.Fprintln(w)
 }
 
-func fig7(w *os.File, e *core.Experiments) {
+func fig7(w io.Writer, e *core.Experiments) {
 	var series []report.Series
 	for _, g := range []float64{1.353, 3.310, 5.279} {
 		s := report.Series{Name: fmt.Sprintf("G=%.3f", g)}
@@ -487,7 +546,7 @@ func fig7(w *os.File, e *core.Experiments) {
 	fmt.Fprintln(w)
 }
 
-func fig8(w *os.File, e *core.Experiments, rows []core.ScalingRow) {
+func fig8(w io.Writer, e *core.Experiments, rows []core.ScalingRow) {
 	t := report.NewTable("Figure 8: actual impact of load balancing on solver time",
 		"Case", "P", "Improvement", "Analytic max")
 	for _, cs := range []string{"Real_1", "Real_2", "Real_3"} {

@@ -1,0 +1,113 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+
+	"plum/internal/obs"
+)
+
+// The -serve mode: a host-plane HTTP endpoint that stays up while the
+// experiments run (and afterwards, until killed), the stepping stone to
+// the ROADMAP's long-running plumserve.  Everything served is host
+// data — the registry, run ledgers on disk, the Go profiler — so
+// scraping it cannot perturb a simulated run in progress.
+//
+//	/metrics        the obs registry, Prometheus text exposition
+//	/runs           JSON listing of *.jsonl ledgers in the ledger dir
+//	/healthz        {"status":"running"|"done"} — CI polls this
+//	/debug/pprof/*  the standard Go profiler endpoints
+
+// server publishes the registry and ledger directory over HTTP.
+type server struct {
+	dir  string // directory listed by /runs
+	done atomic.Bool
+}
+
+// startServe binds addr synchronously (so a bad address fails the run
+// before any experiment starts) and serves in the background.
+func startServe(addr, ledgerPath string) (*server, error) {
+	dir := "."
+	if ledgerPath != "" {
+		dir = filepath.Dir(ledgerPath)
+	}
+	s := &server{dir: dir}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		obs.Default.WritePrometheus(w)
+	})
+	mux.HandleFunc("/runs", s.handleRuns)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		status := "running"
+		if s.done.Load() {
+			status = "done"
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, "{\"status\":%q}\n", status)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	go func() {
+		if err := http.Serve(ln, mux); err != nil {
+			fmt.Fprintf(os.Stderr, "plumbench: -serve: %v\n", err)
+			os.Exit(1)
+		}
+	}()
+	fmt.Fprintf(os.Stderr, "plumbench: serving /metrics, /runs, /healthz, /debug/pprof on %s\n",
+		ln.Addr())
+	return s, nil
+}
+
+// runEntry is one /runs listing line.
+type runEntry struct {
+	File   string `json:"file"`
+	Size   int64  `json:"size"`
+	Epochs int    `json:"epochs,omitempty"`
+	Error  string `json:"error,omitempty"` // unreadable or still-streaming ledger
+}
+
+// handleRuns lists the ledgers next to the -obs path.  A ledger being
+// written concurrently fails validation (no end record yet) — that is
+// reported per entry, not as a request failure.
+func (s *server) handleRuns(w http.ResponseWriter, r *http.Request) {
+	paths, _ := filepath.Glob(filepath.Join(s.dir, "*.jsonl"))
+	entries := []runEntry{}
+	for _, p := range paths {
+		e := runEntry{File: filepath.Base(p)}
+		if fi, err := os.Stat(p); err == nil {
+			e.Size = fi.Size()
+		}
+		if lf, err := obs.ReadLedgerFile(p); err != nil {
+			e.Error = err.Error()
+		} else {
+			e.Epochs = len(lf.Epochs)
+		}
+		entries = append(entries, e)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(entries)
+}
+
+// finish marks the run complete and blocks forever: -serve keeps the
+// endpoint up for post-run scraping until the process is killed.
+func (s *server) finish() {
+	s.done.Store(true)
+	fmt.Fprintln(os.Stderr, "plumbench: experiments done; still serving (interrupt to exit)")
+	select {}
+}

@@ -11,9 +11,18 @@
 // Alongside the export, -trace prints the per-rank cost profile table
 // (internal/profile): compute, messaging overhead, and comm-wait
 // seconds decomposed by protocol (halo / collective / migration /
-// other), plus each rank's critical-path share.
+// other), plus each rank's critical-path share, and a summary of the
+// event engine's host-plane counters (events, fast-path yield share,
+// calendar high-water).
+//
+// With -ledger the command does not simulate at all: it reads a run
+// ledger written by plumbench -obs and renders it back into the
+// paper-style per-epoch league table — decision, prices, moved weight,
+// edge cut, and critical-path decomposition per adaption epoch.
 //
 // Usage: plumviz [-p procs] [-frac f] [-o out.vtk] [-trace out.json]
+//
+//	plumviz -ledger run.jsonl
 package main
 
 import (
@@ -28,6 +37,7 @@ import (
 	"plum/internal/event"
 	"plum/internal/mesh"
 	"plum/internal/msg"
+	"plum/internal/obs"
 	"plum/internal/partition"
 	"plum/internal/pmesh"
 	"plum/internal/profile"
@@ -40,7 +50,16 @@ func main() {
 	frac := flag.Float64("frac", 0.2, "fraction of edges to refine")
 	out := flag.String("o", "plum.vtk", "output VTK file")
 	tracePath := flag.String("trace", "", "also write the run's event timeline as Chrome-tracing JSON")
+	ledgerPath := flag.String("ledger", "", "render a plumbench -obs run ledger as a per-epoch"+
+		" league table instead of running a simulation")
 	flag.Parse()
+
+	if *ledgerPath != "" {
+		if err := renderLedger(os.Stdout, *ledgerPath); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	global := mesh.Box(16, 12, 8, 4.0, 3.0, 2.0)
 	g := dual.FromMesh(global)
@@ -114,5 +133,80 @@ func main() {
 				fmt.Sprintf("%.1f%%", 100*prof.PathShare(r)))
 		}
 		t.Render(os.Stdout)
+		engineSummary(os.Stdout, len(trace.Records))
 	}
+}
+
+// engineSummary prints the event engine's host-plane counters for the
+// run that just finished: the msg runtime flushed every world's
+// scheduler stats into the obs registry, so the registry's totals are
+// this process's totals.
+func engineSummary(w *os.File, events int) {
+	v := obs.Default.Value
+	fast := v("plum_engine_yields_total", "path", "fast")
+	handoff := v("plum_engine_yields_total", "path", "handoff")
+	share := 0.0
+	if fast+handoff > 0 {
+		share = fast / (fast + handoff)
+	}
+	fmt.Fprintf(w, "engine: %d trace events, %.0f yields (%.1f%% fast-path),"+
+		" %.0f blocks, %.0f wakes, calendar high-water %.0f\n",
+		events, fast+handoff, 100*share,
+		v("plum_engine_blocks_total"), v("plum_engine_wakes_total"),
+		v("plum_engine_calendar_highwater"))
+}
+
+// renderLedger reads a plumbench run ledger and renders the paper-style
+// per-epoch league table.
+func renderLedger(w *os.File, path string) error {
+	lf, err := obs.ReadLedgerFile(path)
+	if err != nil {
+		return err
+	}
+	m := lf.Manifest
+	fmt.Fprintf(w, "ledger %s: %s run %s (config %s, git %s, %s %s/%s, GOMAXPROCS=%d)\n",
+		path, m.Tool, m.Start, m.ConfigDigest, m.Git, m.GoVersion, m.GoOS, m.GoArch, m.GoMaxProcs)
+	if len(lf.Epochs) == 0 {
+		fmt.Fprintln(w, "no epoch records (only the epoch-driving experiments — implicit,"+
+			" feedback — append epochs)")
+		return nil
+	}
+	t := report.NewTable("Per-epoch league table",
+		"Exp", "Model", "Run", "P", "epoch", "pricing", "decision",
+		"imbal", "gain", "cost", "TotalV", "MaxV", "EdgeCut", "Elems", "Solve(s)", "CP wait")
+	for _, e := range lf.Epochs {
+		decision := "reject"
+		switch {
+		case e.Balanced:
+			decision = "balanced"
+		case e.Accepted:
+			decision = "accept"
+		}
+		model := e.Model
+		if model == "" {
+			model = "flat"
+		}
+		waitShare := "-"
+		if span := e.CPCompute + e.CPOverhead + e.CPWait; span > 0 {
+			waitShare = fmt.Sprintf("%.1f%%", 100*e.CPWait/span)
+		}
+		t.AddRow(e.Exp, model, e.Run, e.P, e.Cycle, e.Pricing, decision,
+			fmt.Sprintf("%.3f", e.Imbalance),
+			fmt.Sprintf("%.4f", e.Gain), fmt.Sprintf("%.4f", e.Cost),
+			e.TotalV, e.MaxV, e.EdgeCut, e.Elems,
+			fmt.Sprintf("%.4f", e.SolveSeconds), waitShare)
+	}
+	t.Render(w)
+	if lf.Metrics != nil {
+		fmt.Fprintf(w, "host metrics: %.0f worlds, %.0f engine yields (%.0f fast-path),"+
+			" %.0f msg-pool shell hits / %.0f misses\n",
+			lf.Metrics["plum_worlds_finished_total"],
+			lf.Metrics[`plum_engine_yields_total{path="fast"}`]+
+				lf.Metrics[`plum_engine_yields_total{path="handoff"}`],
+			lf.Metrics[`plum_engine_yields_total{path="fast"}`],
+			lf.Metrics[`plum_msg_pool_shells_total{result="hit"}`],
+			lf.Metrics[`plum_msg_pool_shells_total{result="miss"}`])
+	}
+	fmt.Fprintf(w, "%d epochs; output checksum %s\n", lf.End.Epochs, lf.End.OutputSHA256)
+	return nil
 }

@@ -127,6 +127,14 @@ type Config struct {
 	// decision.  Requires a traced run (msg.RunTraced); on an untraced
 	// world the flag is inert and every decision stays analytic.
 	Measured bool
+	// Observe makes the Unsteady driver cut the same per-epoch profile
+	// windows Measured does — so a run ledger (internal/obs) can record
+	// the measured cost decomposition — WITHOUT feeding the profile into
+	// any gain/cost decision: an Observe-only run prices every decision
+	// analytically and its simulated outputs stay bitwise identical to an
+	// unobserved run.  Like Measured it needs a traced world; on an
+	// untraced one it is inert.
+	Observe bool
 	// Profile is the previous epoch's measured cost profile, set by the
 	// Unsteady driver on rank 0 (the rank that makes the gain/cost
 	// decision); every other rank leaves it nil and learns the decision

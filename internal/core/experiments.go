@@ -6,6 +6,7 @@ import (
 	"plum/internal/machine"
 	"plum/internal/mesh"
 	"plum/internal/msg"
+	"plum/internal/obs"
 	"plum/internal/partition"
 	"plum/internal/pmesh"
 	"plum/internal/remap"
@@ -34,6 +35,14 @@ type Experiments struct {
 	// gates rebalancing (ForceAccept off).  Off, every experiment keeps
 	// the analytic pricing bitwise.
 	Measured bool
+
+	// Obs, when non-nil, is the run ledger the epoch-driving experiments
+	// append to: each cycle becomes one obs.EpochRecord on rank 0, with
+	// the measured cost decomposition attached (epoch runs execute traced
+	// whenever Obs is set).  Recording is observation-only — all
+	// simulated outputs stay bitwise identical to an unobserved run
+	// unless Measured also changes the decisions.
+	Obs *obs.Ledger
 
 	initParts map[int][]int32 // cached initial partition per P
 }
@@ -122,8 +131,10 @@ func (e *Experiments) Indicator() func(mesh.Vec3) float64 {
 // start with proportionally smaller subdomains.
 func (e *Experiments) initialPartition(p int) []int32 {
 	if part, ok := e.initParts[p]; ok {
+		obs.Default.Counter("plum_partition_cache_total", "result", "hit").Inc()
 		return part
 	}
+	obs.Default.Counter("plum_partition_cache_total", "result", "miss").Inc()
 	opt := e.Cfg.PartOpts
 	if e.ModelName != "" {
 		topo, err := machine.ByName(e.ModelName, p)

@@ -5,6 +5,7 @@ import (
 	"plum/internal/machine"
 	"plum/internal/mesh"
 	"plum/internal/msg"
+	"plum/internal/obs"
 	"plum/internal/partition"
 	"plum/internal/pmesh"
 	"plum/internal/solver"
@@ -40,6 +41,11 @@ type FeedbackRun struct {
 	Measured bool
 	Epochs   []FeedbackEpoch
 	SimTime  float64 // end-to-end simulated makespan of the whole run
+
+	// recs are the run's ledger records (rank 0; only when e.Obs is
+	// set).  FeedbackComparison flushes them after the world barrier so
+	// ledger order is deterministic.
+	recs []obs.EpochRecord
 }
 
 // FeedbackPair is the analytic/measured comparison on one topology.
@@ -102,6 +108,7 @@ func (e *Experiments) RunFeedback(p, cycles int, model string, measured bool) Fe
 		cfg.Topo = topo
 		cfg.ForceAccept = false
 		cfg.Measured = measured
+		cfg.Observe = e.Obs != nil
 		// One solver step between adaptions puts the analytic gain —
 		// Titer, a constant calibrated for the explicit solver — in the
 		// same range as the redistribution cost, which is exactly where
@@ -136,10 +143,15 @@ func (e *Experiments) RunFeedback(p, cycles int, model string, measured bool) Fe
 				Elems:     cs.Step.Counts.Elems,
 				SolveTime: cs.SolverTime,
 			})
+			if e.Obs != nil {
+				run.recs = append(run.recs, epochRecord(
+					"feedback", model, pricingMode(measured),
+					p, i, cs, partition.EdgeCut(e.Dual, d.RootOwner)))
+			}
 		}
 	}
 	var times []float64
-	if measured {
+	if measured || e.Obs != nil {
 		times, _ = msg.RunTraced(p, mod, body)
 	} else {
 		times = msg.RunModel(p, mod, body)
@@ -150,7 +162,9 @@ func (e *Experiments) RunFeedback(p, cycles int, model string, measured bool) Fe
 
 // FeedbackComparison runs the analytic and measured modes on every
 // named topology.  Each (topology, pricing-mode) epoch sweep is an
-// independent world; all 2*len(models) run concurrently.
+// independent world; all 2*len(models) run concurrently.  With e.Obs
+// set the ledger receives every run's epochs after the barrier, in
+// (model, analytic-then-measured) order.
 func (e *Experiments) FeedbackComparison(p, cycles int, models []string) []FeedbackPair {
 	pairs := make([]FeedbackPair, len(models))
 	runWorlds(2*len(models), func(i int) {
@@ -161,6 +175,12 @@ func (e *Experiments) FeedbackComparison(p, cycles int, models []string) []Feedb
 			pairs[i/2].Analytic = run
 		}
 	})
+	if e.Obs != nil {
+		for _, pair := range pairs {
+			e.Obs.Add(pair.Analytic.recs...)
+			e.Obs.Add(pair.Measured.recs...)
+		}
+	}
 	return pairs
 }
 

@@ -4,6 +4,7 @@ import (
 	"plum/internal/linalg"
 	"plum/internal/mesh"
 	"plum/internal/msg"
+	"plum/internal/obs"
 	"plum/internal/partition"
 	"plum/internal/pmesh"
 	"plum/internal/solver"
@@ -44,10 +45,16 @@ func (e *Experiments) implicitConfig() Config {
 // counts are bitwise identical across P (the determinism guarantee of
 // internal/linalg); what changes with P is the simulated time those
 // iterations cost — the communication the load balancer is minimizing.
+//
+// With e.Obs set every world runs traced and each cycle lands in the
+// ledger as one epoch record; the per-world record slices flush after
+// the barrier, in P order, so ledgers are deterministic even though the
+// worlds race.
 func (e *Experiments) ImplicitScaling(cycles int) []ImplicitRow {
 	ind := e.Indicator()
 	e.prewarmPartitions(e.Ps)
 	rows := make([]ImplicitRow, len(e.Ps))
+	recs := make([][]obs.EpochRecord, len(e.Ps))
 	runWorlds(len(e.Ps), func(i int) {
 		p := e.Ps[i]
 		initPart := e.initialPartition(p)
@@ -57,6 +64,7 @@ func (e *Experiments) ImplicitScaling(cycles int) []ImplicitRow {
 			d := pmesh.New(c, e.Global, initPart, solver.NComp)
 			cfg := e.implicitConfig()
 			cfg.Topo = mod.Topo
+			cfg.Observe = e.Obs != nil
 			if e.Measured {
 				// Measured-cost loop: decisions gate on the previous
 				// epoch's profile instead of always remapping.
@@ -71,10 +79,15 @@ func (e *Experiments) ImplicitScaling(cycles int) []ImplicitRow {
 			var last CycleStats
 			total := 0
 			conv := true
-			for i := 0; i < cycles; i++ {
+			for cyc := 0; cyc < cycles; cyc++ {
 				last = u.Cycle()
 				total += last.PCGIters
 				conv = conv && last.PCGConverged
+				if e.Obs != nil && c.Rank() == 0 {
+					recs[i] = append(recs[i], epochRecord(
+						"implicit", e.ModelName, pricingMode(e.Measured),
+						p, cyc, last, partition.EdgeCut(e.Dual, d.RootOwner)))
+				}
 			}
 			if c.Rank() != 0 {
 				return
@@ -94,13 +107,18 @@ func (e *Experiments) ImplicitScaling(cycles int) []ImplicitRow {
 				MassDiagnost: last.Mass,
 			}
 		}
-		if e.Measured {
+		if e.Measured || e.Obs != nil {
 			msg.RunTraced(p, mod, body)
 		} else {
 			msg.RunModel(p, mod, body)
 		}
 		rows[i] = row
 	})
+	if e.Obs != nil {
+		for _, r := range recs {
+			e.Obs.Add(r...)
+		}
+	}
 	return rows
 }
 

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"plum/internal/obs"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden ledger instead of comparing")
+
+// The observability invariants: recording a run ledger must not perturb
+// any simulated output (the -obs acceptance criterion), and the ledger
+// itself must be a deterministic artifact — byte-identical epoch lines
+// across repetitions and GOMAXPROCS values, pinned by a golden file.
+// The test names carry "Deterministic" so CI's determinism job runs
+// them under -race.
+
+// smallExperiments returns a harness cut down to a fast sweep.
+func smallExperiments() *Experiments {
+	e := NewExperiments(false)
+	e.Ps = []int{1, 2, 4}
+	return e
+}
+
+func implicitRowsString(rows []ImplicitRow) string {
+	return fmt.Sprintf("%+v", rows)
+}
+
+// TestObserveDeterministicImplicitRows: an ImplicitScaling sweep with a
+// ledger attached (which forces traced worlds and per-epoch profile
+// windows) reports bit-identical rows to the plain untraced sweep.
+func TestObserveDeterministicImplicitRows(t *testing.T) {
+	plain := implicitRowsString(smallExperiments().ImplicitScaling(2))
+
+	e := smallExperiments()
+	l, err := obs.Create(filepath.Join(t.TempDir(), "run.jsonl"), obs.Manifest{Tool: "test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Obs = l
+	observed := implicitRowsString(e.ImplicitScaling(2))
+	if err := l.Close(nil, ""); err != nil {
+		t.Fatal(err)
+	}
+
+	if plain != observed {
+		t.Errorf("observation perturbed the run:\nplain:    %s\nobserved: %s", plain, observed)
+	}
+}
+
+// TestObserveDeterministicFeedbackRows: same invariant for the feedback
+// comparison — with Obs set the analytic run executes traced instead of
+// untraced, and its epochs and simulated times must not move.
+func TestObserveDeterministicFeedbackRows(t *testing.T) {
+	run := func(withObs bool) (string, *obs.Ledger) {
+		e := smallExperiments()
+		var l *obs.Ledger
+		if withObs {
+			var err error
+			l, err = obs.Create(filepath.Join(t.TempDir(), "run.jsonl"), obs.Manifest{Tool: "test"})
+			if err != nil {
+				t.Fatal(err)
+			}
+			e.Obs = l
+		}
+		pairs := e.FeedbackComparison(4, 2, []string{"smp"})
+		// recs is the ledger plumbing, not a result; compare the public data.
+		pairs[0].Analytic.recs, pairs[0].Measured.recs = nil, nil
+		return fmt.Sprintf("%+v", pairs), l
+	}
+	plain, _ := run(false)
+	observed, l := run(true)
+	if err := l.Close(nil, ""); err != nil {
+		t.Fatal(err)
+	}
+	if plain != observed {
+		t.Errorf("observation perturbed the feedback comparison:\nplain:    %s\nobserved: %s",
+			plain, observed)
+	}
+}
+
+// ledgerEpochLines runs a 2-cycle implicit sweep with a ledger attached
+// and returns the ledger's epoch lines (manifest and metrics excluded:
+// they carry host-varying fields by design).
+func ledgerEpochLines(t *testing.T) []byte {
+	t.Helper()
+	e := smallExperiments()
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	l, err := obs.Create(path, obs.Manifest{Tool: "test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Obs = l
+	e.ImplicitScaling(2)
+	if err := l.Close(nil, ""); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var epochs []byte
+	for _, line := range bytes.Split(data, []byte("\n")) {
+		if bytes.Contains(line, []byte(`"kind":"epoch"`)) {
+			epochs = append(epochs, line...)
+			epochs = append(epochs, '\n')
+		}
+	}
+	return epochs
+}
+
+// TestLedgerDeterministicGolden pins the ledger's epoch-line bytes —
+// schema, field order, and every simulated value — against a golden
+// file, at GOMAXPROCS 1 and 8.  Like the repository's other golden
+// tests it is bitwise on amd64 (hex float comparison via the JSON
+// round-trip); regenerate with -update after an intentional change:
+//
+//	go test ./internal/core/ -run LedgerDeterministicGolden -update
+func TestLedgerDeterministicGolden(t *testing.T) {
+	golden := filepath.Join("testdata", "ledger_implicit.golden")
+
+	old := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(old)
+	serial := ledgerEpochLines(t)
+	runtime.GOMAXPROCS(8)
+	parallel := ledgerEpochLines(t)
+	if !bytes.Equal(serial, parallel) {
+		t.Errorf("ledger epochs differ between GOMAXPROCS 1 and 8:\n1: %s\n8: %s", serial, parallel)
+	}
+
+	if *update {
+		if err := os.WriteFile(golden, serial, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", golden, len(serial))
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	if !bytes.Equal(serial, want) {
+		t.Errorf("ledger epochs diverged from %s:\ngot:  %s\nwant: %s", golden, serial, want)
+	}
+}

@@ -7,6 +7,9 @@ import (
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"plum/internal/obs"
 )
 
 // Parallel world execution.  A simulated world is hermetic: it owns its
@@ -37,6 +40,7 @@ import (
 // re-raise below unwinds runWorlds' caller, not the world), and is
 // re-raised with the original panic value once in-flight jobs stop.
 func runWorlds(n int, job func(i int)) {
+	job = timedJob(job)
 	limit := runtime.GOMAXPROCS(0)
 	if limit > n {
 		limit = n
@@ -81,6 +85,23 @@ func runWorlds(n int, job func(i int)) {
 	wg.Wait()
 	if fault != nil {
 		panic(fault)
+	}
+}
+
+// timedJob wraps a world job with the host-plane scheduling counters:
+// worlds started/finished and the wall-clock each world took.  A world
+// that panics counts as started but not finished, so the gap between
+// the two counters is the number of worlds that died.
+func timedJob(job func(i int)) func(i int) {
+	started := obs.Default.Counter("plum_worlds_started_total")
+	finished := obs.Default.Counter("plum_worlds_finished_total")
+	wall := obs.Default.Histogram("plum_world_wall_seconds", obs.TimeBuckets)
+	return func(i int) {
+		started.Inc()
+		t0 := time.Now()
+		job(i)
+		wall.Observe(time.Since(t0).Seconds())
+		finished.Inc()
 	}
 }
 

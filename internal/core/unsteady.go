@@ -88,10 +88,11 @@ func (u *Unsteady) Cycle() CycleStats {
 	// epoch (adaption + migration + solve).  Only rank 0 cuts the
 	// window — it is the rank that prices the decision — and the
 	// engine's deterministic total order makes the boundary, and with it
-	// the profile, bitwise reproducible.
+	// the profile, bitwise reproducible.  Observe cuts the same window
+	// for the run ledger but never feeds the profile forward.
 	var tr *event.Trace
 	cycleStart := 0
-	if u.Cfg.Measured {
+	if u.Cfg.Measured || u.Cfg.Observe {
 		tr = c.Trace()
 		if tr != nil && c.Rank() == 0 {
 			cycleStart = len(tr.Records)
@@ -149,7 +150,12 @@ func (u *Unsteady) Cycle() CycleStats {
 			topo = machine.NewFlat(c.Size(), machine.SP2Link())
 		}
 		p.Rates = machine.CalibrateRates(tr.Records[cycleStart:len(tr.Records)], topo)
-		u.prof = p
+		// Only the measured-cost loop feeds the profile into the next
+		// decision; an Observe-only run records it (cs.Profile) and stays
+		// bitwise analytic.
+		if u.Cfg.Measured {
+			u.prof = p
+		}
 		cs.Profile = p
 	}
 	maxW := c.AllreduceInt64(int64(cs.SolverWork), msg.MaxInt64)

@@ -32,6 +32,24 @@ type proc struct {
 	grant   chan struct{} // previous token holder -> process: you hold the token
 }
 
+// EngineStats counts what the scheduler did on the host plane: how
+// often the Yield fast path kept the token versus handing it off, how
+// deep the calendar got, and whether any process had to be aborted as
+// deadlocked.  The counts are a pure function of the program — the
+// schedule is deterministic, so two identical runs report identical
+// stats — but they are host-plane data: collecting them never touches a
+// simulated clock.  Fields are written only while holding the execution
+// token (or by the engine goroutine between handoffs), so no atomics
+// are needed; read them after Run returns via Stats.
+type EngineStats struct {
+	FastYields        int64 // Yields that kept the token with zero goroutine switches
+	HandoffYields     int64 // Yields that parked the caller and handed the token off
+	Blocks            int64 // Block suspensions (message waits)
+	Wakes             int64 // Wake deliveries that made a blocked process runnable
+	CalendarHighWater int   // deepest the pending-event queue ever got
+	DeadlockAborts    int64 // processes aborted as deadlocked
+}
+
 // Engine is a deterministic discrete-event scheduler for a fixed set of
 // coroutine-style processes.  Exactly one goroutine — the engine or one
 // process — runs at any instant; the execution token is handed over by
@@ -80,6 +98,7 @@ type Engine struct {
 	live  int           // processes not yet done; token-holder owned
 	token chan struct{} // process -> engine: deadlock or termination
 	fault any           // first panic escaping a process body
+	stats EngineStats
 
 	// noFastPath disables the keep-the-token Yield fast path (testing
 	// only: the stress test diffs fast- and slow-path schedules).
@@ -101,6 +120,19 @@ func NewEngine(p int) *Engine {
 func (e *Engine) nextSeq() int64 {
 	e.seq++
 	return e.seq
+}
+
+// Stats returns the scheduler's host-plane counters.  Call it after Run
+// returns (the msg runtime flushes them into the obs registry there);
+// during a run only the token holder may read them.
+func (e *Engine) Stats() EngineStats { return e.stats }
+
+// push inserts a calendar entry and tracks the queue's high-water mark.
+func (e *Engine) push(ent Entry) {
+	e.cal.Push(ent)
+	if n := e.cal.Len(); n > e.stats.CalendarHighWater {
+		e.stats.CalendarHighWater = n
+	}
 }
 
 // handoff passes the execution token to the next scheduled process
@@ -136,7 +168,7 @@ func (e *Engine) handoff(self int) bool {
 func (e *Engine) Run(fn func(id int)) {
 	for i := range e.procs {
 		e.procs[i].state = stateReady
-		e.cal.Push(Entry{Time: 0, ID: i, Seq: e.nextSeq()})
+		e.push(Entry{Time: 0, ID: i, Seq: e.nextSeq()})
 	}
 	e.live = len(e.procs)
 	for i := range e.procs {
@@ -167,7 +199,8 @@ func (e *Engine) Run(fn func(id int)) {
 			if e.procs[i].state == stateBlocked {
 				e.procs[i].aborted = true
 				e.procs[i].state = stateReady
-				e.cal.Push(Entry{Time: math.Inf(1), ID: i, Seq: e.nextSeq()})
+				e.stats.DeadlockAborts++
+				e.push(Entry{Time: math.Inf(1), ID: i, Seq: e.nextSeq()})
 			}
 		}
 		if e.cal.Len() == 0 {
@@ -190,11 +223,13 @@ func (e *Engine) Run(fn func(id int)) {
 // token right back, and instead keeps it without any goroutine switch.
 func (e *Engine) Yield(id int, t float64) {
 	p := &e.procs[id]
-	e.cal.Push(Entry{Time: t, ID: id, Seq: e.nextSeq()})
+	e.push(Entry{Time: t, ID: id, Seq: e.nextSeq()})
 	if e.cal.Min().ID == id && !e.noFastPath {
 		e.cal.Pop()
+		e.stats.FastYields++
 		return
 	}
+	e.stats.HandoffYields++
 	p.state = stateReady
 	if e.handoff(id) {
 		return // own entry won anyway: keep the token
@@ -210,6 +245,7 @@ func (e *Engine) Block(id int) {
 		panic(Deadlock{ID: id})
 	}
 	p.state = stateBlocked
+	e.stats.Blocks++
 	e.handoff(id) // self has no pending entry while blocked: never true
 	<-p.grant
 	if p.aborted {
@@ -224,6 +260,7 @@ func (e *Engine) Block(id int) {
 func (e *Engine) Wake(id int, t float64) {
 	if p := &e.procs[id]; p.state == stateBlocked {
 		p.state = stateReady
-		e.cal.Push(Entry{Time: t, ID: id, Seq: e.nextSeq()})
+		e.stats.Wakes++
+		e.push(Entry{Time: t, ID: id, Seq: e.nextSeq()})
 	}
 }

@@ -1,0 +1,87 @@
+package event
+
+import "testing"
+
+// TestEngineStatsCounts: the scheduler's host-plane counters reflect
+// what the schedule did — yields split into fast-path and handoff,
+// blocks pair with wakes, and the calendar high-water stays within one
+// entry per live process.
+func TestEngineStatsCounts(t *testing.T) {
+	const p = 4
+	e := NewEngine(p)
+	e.Run(func(id int) {
+		for i := 0; i < 10; i++ {
+			e.Yield(id, float64(i))
+		}
+	})
+	st := e.Stats()
+	if st.FastYields+st.HandoffYields != p*10 {
+		t.Errorf("yields = %d fast + %d handoff, want %d total",
+			st.FastYields, st.HandoffYields, p*10)
+	}
+	// Interleaved same-time yields force handoffs; the schedule is
+	// deterministic, so both classes must be exercised.
+	if st.FastYields == 0 || st.HandoffYields == 0 {
+		t.Errorf("expected both yield classes, got fast=%d handoff=%d",
+			st.FastYields, st.HandoffYields)
+	}
+	if st.CalendarHighWater < 1 || st.CalendarHighWater > p {
+		t.Errorf("calendar high-water = %d, want in [1, %d]", st.CalendarHighWater, p)
+	}
+	if st.Blocks != 0 || st.Wakes != 0 || st.DeadlockAborts != 0 {
+		t.Errorf("unexpected block/wake/abort counts: %+v", st)
+	}
+}
+
+// TestEngineStatsDeterministic: identical programs produce identical
+// counters — the stats are a pure function of the schedule.
+func TestEngineStatsDeterministic(t *testing.T) {
+	run := func() EngineStats {
+		e := NewEngine(3)
+		e.Run(func(id int) {
+			for i := 0; i < 7; i++ {
+				e.Yield(id, float64(i)*0.5)
+				if id == 0 {
+					e.Wake(1, float64(i)) // no-op unless 1 is blocked
+				}
+			}
+		})
+		return e.Stats()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Errorf("stats diverged across identical runs: %+v vs %+v", a, b)
+	}
+}
+
+// TestEngineStatsBlockWakeAborts: a blocked process that is never woken
+// is aborted and counted; a woken one counts a block and a wake.
+func TestEngineStatsBlockWakeAborts(t *testing.T) {
+	e := NewEngine(2)
+	e.Run(func(id int) {
+		if id == 1 {
+			e.Yield(id, 1)
+			e.Wake(0, 2)
+			return
+		}
+		e.Block(id)
+	})
+	st := e.Stats()
+	if st.Blocks != 1 || st.Wakes != 1 || st.DeadlockAborts != 0 {
+		t.Errorf("block/wake run: %+v", st)
+	}
+
+	e2 := NewEngine(2)
+	func() {
+		defer func() { recover() }() // the deadlocked rank re-raises
+		e2.Run(func(id int) {
+			if id == 0 {
+				defer func() { recover() }() // swallow the Deadlock panic
+				e2.Block(id)
+			}
+		})
+	}()
+	if st2 := e2.Stats(); st2.DeadlockAborts != 1 {
+		t.Errorf("deadlock aborts = %d, want 1: %+v", st2.DeadlockAborts, st2)
+	}
+}

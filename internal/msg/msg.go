@@ -3,8 +3,10 @@ package msg
 import (
 	"fmt"
 	"math/bits"
+	"strconv"
 
 	"plum/internal/event"
+	"plum/internal/obs"
 )
 
 // AnySource may be passed to Recv to match a message from any rank.
@@ -53,6 +55,7 @@ type Message struct {
 // deterministic because the engine's schedule is.
 type mailbox struct {
 	head, tail *Message
+	n          int // buffered messages (mailbox high-water accounting)
 }
 
 func (mb *mailbox) put(m *Message) {
@@ -64,6 +67,7 @@ func (mb *mailbox) put(m *Message) {
 		mb.head = m
 	}
 	mb.tail = m
+	mb.n++
 }
 
 // tryTake removes and returns the first message matching (src, tag) in
@@ -83,6 +87,7 @@ func (mb *mailbox) tryTake(src, tag int) *Message {
 				mb.tail = m.prev
 			}
 			m.prev, m.next = nil, nil
+			mb.n--
 			return m
 		}
 	}
@@ -124,6 +129,56 @@ type World struct {
 	// stacks released payload buffers of capacity exactly 1<<c.
 	freeShells *Message
 	freeBufs   [numSizeClasses][][]byte
+
+	// stats holds the world's host-plane counters.  Like the pools they
+	// are token-serialized plain fields — a few integer increments on
+	// the hot paths, no atomics — and are flushed into the process-wide
+	// obs registry once, when the world finishes (flushStats).  Nothing
+	// here ever reaches a simulated clock.
+	stats worldStats
+}
+
+// worldStats is one world's host-plane accounting: pool recycling
+// effectiveness per size class, how full mailboxes got, and traffic
+// split by tag class (user protocols vs collective internals).
+type worldStats struct {
+	shellHits, shellMisses int64
+	bufHits, bufMisses     [numSizeClasses]int64
+	mailboxHighWater       int
+	userMsgs, collMsgs     int64
+	userBytes, collBytes   int64
+}
+
+// flushStats folds the world's counters — and its engine's scheduling
+// counters — into the process-wide registry with a handful of atomic
+// adds.  Called once per world, after the engine stops (including on
+// panic paths, so deadlock aborts are visible).
+func (w *World) flushStats() {
+	r := obs.Default
+	es := w.eng.Stats()
+	r.Counter("plum_engine_yields_total", "path", "fast").Add(es.FastYields)
+	r.Counter("plum_engine_yields_total", "path", "handoff").Add(es.HandoffYields)
+	r.Counter("plum_engine_blocks_total").Add(es.Blocks)
+	r.Counter("plum_engine_wakes_total").Add(es.Wakes)
+	r.Counter("plum_engine_deadlock_aborts_total").Add(es.DeadlockAborts)
+	r.Gauge("plum_engine_calendar_highwater").SetMax(int64(es.CalendarHighWater))
+
+	st := &w.stats
+	r.Counter("plum_msg_pool_shells_total", "result", "hit").Add(st.shellHits)
+	r.Counter("plum_msg_pool_shells_total", "result", "miss").Add(st.shellMisses)
+	for c := range st.bufHits {
+		if st.bufHits[c] == 0 && st.bufMisses[c] == 0 {
+			continue
+		}
+		cl := strconv.Itoa(c)
+		r.Counter("plum_msg_pool_buffers_total", "result", "hit", "class", cl).Add(st.bufHits[c])
+		r.Counter("plum_msg_pool_buffers_total", "result", "miss", "class", cl).Add(st.bufMisses[c])
+	}
+	r.Gauge("plum_msg_mailbox_highwater").SetMax(int64(st.mailboxHighWater))
+	r.Counter("plum_msg_messages_total", "class", "user").Add(st.userMsgs)
+	r.Counter("plum_msg_messages_total", "class", "collective").Add(st.collMsgs)
+	r.Counter("plum_msg_bytes_total", "class", "user").Add(st.userBytes)
+	r.Counter("plum_msg_bytes_total", "class", "collective").Add(st.collBytes)
 }
 
 // sizeClass returns the free-list class whose buffers hold n bytes:
@@ -143,16 +198,20 @@ func (w *World) getMessage(n int) *Message {
 	if m != nil {
 		w.freeShells = m.next
 		m.next = nil
+		w.stats.shellHits++
 	} else {
 		m = &Message{}
+		w.stats.shellMisses++
 	}
 	if n > 0 {
 		c := sizeClass(n)
 		if bl := w.freeBufs[c]; len(bl) > 0 {
 			m.Data = bl[len(bl)-1][:n]
 			w.freeBufs[c] = bl[:len(bl)-1]
+			w.stats.bufHits[c]++
 		} else {
 			m.Data = make([]byte, n, 1<<c)
+			w.stats.bufMisses[c]++
 		}
 	}
 	return m
@@ -303,7 +362,17 @@ func (c *Comm) deliver(dst, tag int, m *Message) {
 			Peer: dst, Tag: tag, Bytes: len(m.Data), MsgID: m.id,
 		})
 	}
+	if IsCollectiveTag(tag) {
+		w.stats.collMsgs++
+		w.stats.collBytes += int64(len(m.Data))
+	} else {
+		w.stats.userMsgs++
+		w.stats.userBytes += int64(len(m.Data))
+	}
 	w.boxes[dst].put(m)
+	if w.boxes[dst].n > w.stats.mailboxHighWater {
+		w.stats.mailboxHighWater = w.boxes[dst].n
+	}
 	// Wake the receiver only when this message matches its blocked Recv,
 	// keyed no earlier than the receiver's own clock: the resumed rank's
 	// clock then catches up to at least its wake key before it emits any
@@ -406,6 +475,7 @@ func runWorld(p int, model *CostModel, traced bool, fn func(*Comm)) ([]float64, 
 		comms[i] = &Comm{rank: i, world: w}
 	}
 	panics := make([]any, p)
+	defer w.flushStats() // flush even when a rank panic unwinds runWorld
 	w.eng.Run(func(r int) {
 		defer func() {
 			if e := recover(); e != nil {

@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func testManifest() Manifest {
+	return Manifest{
+		Tool: "obs_test", ConfigDigest: "cafe", Git: "deadbeef",
+		GoVersion: "go1.22", GoOS: "linux", GoArch: "amd64",
+		GoMaxProcs: 8, NumCPU: 8, Start: "2026-08-08T00:00:00Z",
+	}
+}
+
+func testEpoch(p, cycle int) EpochRecord {
+	return EpochRecord{
+		Exp: "implicit", Model: "smp", Run: "analytic", P: p, Cycle: cycle,
+		Pricing: "analytic", Accepted: true, Imbalance: 1.5,
+		WOldMax: 100, WNewMax: 60, Gain: 2, Cost: 1,
+		TotalV: 40, MaxV: 12, EdgeCut: 77, Elems: 1000,
+		SolveSeconds: 0.25, PCGIters: 30,
+		CPMakespan: 0.3, CPCompute: 0.2, CPOverhead: 0.05, CPWait: 0.05,
+		Ranks: make([]RankShare, p),
+	}
+}
+
+func TestLedgerRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	l, err := Create(path, testManifest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Add(testEpoch(2, 0), testEpoch(2, 1))
+	if l.Epochs() != 2 {
+		t.Errorf("Epochs = %d, want 2", l.Epochs())
+	}
+	if err := l.Close(map[string]float64{"plum_worlds_finished_total": 3}, "abc123"); err != nil {
+		t.Fatal(err)
+	}
+
+	lf, err := ReadLedgerFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lf.Manifest.Tool != "obs_test" || lf.Manifest.Schema != SchemaVersion {
+		t.Errorf("manifest = %+v", lf.Manifest)
+	}
+	if len(lf.Epochs) != 2 || lf.Epochs[1].Cycle != 1 || lf.Epochs[0].EdgeCut != 77 {
+		t.Errorf("epochs = %+v", lf.Epochs)
+	}
+	if lf.Metrics["plum_worlds_finished_total"] != 3 {
+		t.Errorf("metrics = %v", lf.Metrics)
+	}
+	if lf.End.Epochs != 2 || lf.End.OutputSHA256 != "abc123" {
+		t.Errorf("end = %+v", lf.End)
+	}
+}
+
+func TestReadLedgerRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name, content, wantErr string
+	}{
+		{"empty", "", "empty ledger"},
+		{"no manifest", `{"kind":"epoch","p":2}`, "does not start with a manifest"},
+		{"bad schema", `{"kind":"manifest","schema":99}`, "unsupported ledger schema"},
+		{"truncated", `{"kind":"manifest","schema":1}`, "no end record"},
+		{"bad epoch p", `{"kind":"manifest","schema":1}` + "\n" +
+			`{"kind":"epoch","p":0}`, "p=0"},
+		{"rank shares mismatch", `{"kind":"manifest","schema":1}` + "\n" +
+			`{"kind":"epoch","p":4,"ranks":[{}]}`, "1 rank shares for p=4"},
+		{"count mismatch", `{"kind":"manifest","schema":1}` + "\n" +
+			`{"kind":"epoch","p":2}` + "\n" + `{"kind":"end","epochs":5}`, "counts 5 epochs"},
+		{"unknown kind", `{"kind":"manifest","schema":1}` + "\n" +
+			`{"kind":"mystery"}`, "unknown record kind"},
+		{"trailing record", `{"kind":"manifest","schema":1}` + "\n" +
+			`{"kind":"end","epochs":0}` + "\n" + `{"kind":"epoch","p":2}`, "after the end record"},
+	}
+	for _, c := range cases {
+		_, err := ReadLedger(strings.NewReader(c.content))
+		if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("%s: err = %v, want substring %q", c.name, err, c.wantErr)
+		}
+	}
+}
+
+// TestLedgerWriteErrorLatched: a write failure surfaces at Close even
+// when later appends succeed in buffering.
+func TestLedgerWriteErrorLatched(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	l, err := Create(path, testManifest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Close the file underneath the ledger: the buffered writer's flush
+	// must fail and Close must report it.
+	l.f.Close()
+	for i := 0; i < 4096; i++ { // overflow the bufio buffer to force a write
+		l.Add(testEpoch(2, i))
+	}
+	if err := l.Close(nil, ""); err == nil {
+		t.Error("Close reported success after underlying write failure")
+	}
+	os.Remove(path)
+}

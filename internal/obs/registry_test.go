@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("plum_test_total", "path", "fast")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	if r.Counter("plum_test_total", "path", "fast") != c {
+		t.Error("counter not interned by (name, labels)")
+	}
+	if r.Counter("plum_test_total", "path", "slow") == c {
+		t.Error("distinct labels returned the same counter")
+	}
+
+	g := r.Gauge("plum_test_highwater")
+	g.SetMax(7)
+	g.SetMax(3)
+	if got := g.Value(); got != 7 {
+		t.Errorf("SetMax gauge = %d, want 7", got)
+	}
+	g.Set(2)
+	if got := g.Value(); got != 2 {
+		t.Errorf("Set gauge = %d, want 2", got)
+	}
+
+	if v := r.Value("plum_test_total", "path", "fast"); v != 5 {
+		t.Errorf("Value(counter) = %v, want 5", v)
+	}
+	if v := r.Value("plum_test_missing"); v != 0 {
+		t.Errorf("Value(missing) = %v, want 0", v)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("plum_test_seconds", []float64{0.1, 1})
+	for _, v := range []float64{0.05, 0.5, 0.5, 2} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Errorf("count = %d, want 4", h.Count())
+	}
+	if got := h.Sum(); got != 3.05 {
+		t.Errorf("sum = %v, want 3.05", got)
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE plum_test_seconds histogram",
+		`plum_test_seconds_bucket{le="0.1"} 1`,
+		`plum_test_seconds_bucket{le="1"} 3`,
+		`plum_test_seconds_bucket{le="+Inf"} 4`,
+		"plum_test_seconds_sum 3.05",
+		"plum_test_seconds_count 4",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPrometheusTextFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("plum_a_total", "class", "user").Add(3)
+	r.Counter("plum_a_total", "class", "coll").Add(1)
+	r.Gauge("plum_b").Set(9)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "# TYPE plum_a_total counter\n" +
+		"plum_a_total{class=\"coll\"} 1\n" +
+		"plum_a_total{class=\"user\"} 3\n" +
+		"# TYPE plum_b gauge\n" +
+		"plum_b 9\n"
+	if b.String() != want {
+		t.Errorf("prometheus text:\n%s\nwant:\n%s", b.String(), want)
+	}
+	// Stable output: a second render must byte-compare equal.
+	var b2 strings.Builder
+	if err := r.WritePrometheus(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != b2.String() {
+		t.Error("prometheus output not stable across renders")
+	}
+}
+
+func TestSnapshotFlattens(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("plum_c_total").Add(2)
+	r.Gauge("plum_g").Set(5)
+	r.Histogram("plum_h_seconds", []float64{1}).Observe(0.5)
+	s := r.Snapshot()
+	if s["plum_c_total"] != 2 || s["plum_g"] != 5 ||
+		s["plum_h_seconds_count"] != 1 || s["plum_h_seconds_sum"] != 0.5 {
+		t.Errorf("snapshot = %v", s)
+	}
+}
+
+// TestRegistryConcurrent exercises the registry from many goroutines —
+// the live-scrape-during-a-sweep pattern — under the race detector.
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("plum_conc_total").Inc()
+				r.Gauge("plum_conc_hw").SetMax(int64(j))
+				r.Histogram("plum_conc_seconds", TimeBuckets).Observe(0.01)
+			}
+		}()
+	}
+	var scrape sync.WaitGroup
+	scrape.Add(1)
+	go func() {
+		defer scrape.Done()
+		for i := 0; i < 50; i++ {
+			var b strings.Builder
+			if err := r.WritePrometheus(&b); err != nil {
+				t.Error(err)
+			}
+			r.Snapshot()
+		}
+	}()
+	wg.Wait()
+	scrape.Wait()
+	if got := r.Counter("plum_conc_total").Value(); got != 8000 {
+		t.Errorf("concurrent counter = %d, want 8000", got)
+	}
+	if got := r.Histogram("plum_conc_seconds", TimeBuckets).Count(); got != 8000 {
+		t.Errorf("concurrent histogram count = %d, want 8000", got)
+	}
+}
