@@ -5,9 +5,12 @@
 // (shared runners are noisy — 2x, not 10%) so it catches structural
 // regressions, not jitter.  Warnings use the GitHub Actions ::warning
 // annotation format so they surface on the workflow run; -strict turns
-// them into a non-zero exit for local bisection.
+// them into a non-zero exit for local bisection.  -md additionally
+// writes the comparison as a GitHub-flavored markdown table — CI
+// appends it to $GITHUB_STEP_SUMMARY so the run page shows the numbers
+// without digging through logs.
 //
-// Usage: benchcmp [-threshold 2.0] [-strict] baseline.json current.json
+// Usage: benchcmp [-threshold 2.0] [-strict] [-md out.md] baseline.json current.json
 package main
 
 import (
@@ -15,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 )
 
 // benchResult mirrors plumbench's BenchResult; only the compared fields
@@ -46,9 +50,11 @@ func main() {
 	threshold := flag.Float64("threshold", 2.0, "warn when current ns/op exceeds"+
 		" baseline by this factor")
 	strict := flag.Bool("strict", false, "exit non-zero on any warning")
+	mdPath := flag.String("md", "", "also write the comparison as a markdown table to this"+
+		" file (CI appends it to $GITHUB_STEP_SUMMARY)")
 	flag.Parse()
 	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: benchcmp [-threshold f] [-strict] baseline.json current.json")
+		fmt.Fprintln(os.Stderr, "usage: benchcmp [-threshold f] [-strict] [-md out.md] baseline.json current.json")
 		os.Exit(2)
 	}
 	base, err := load(flag.Arg(0))
@@ -69,11 +75,19 @@ func main() {
 	fmt.Printf("benchcmp: baseline %s (git %s) vs current %s (git %s), threshold %.2fx\n",
 		flag.Arg(0), orUnknown(base.GitSHA), flag.Arg(1), orUnknown(cur.GitSHA), *threshold)
 
+	var md strings.Builder
+	md.WriteString("### Benchmark comparison\n\n")
+	fmt.Fprintf(&md, "Baseline `%s` vs current `%s`, threshold %.2fx.\n\n",
+		orUnknown(base.GitSHA), orUnknown(cur.GitSHA), *threshold)
+	md.WriteString("| benchmark | baseline ns/op | current ns/op | ratio | Δ allocs/op |\n")
+	md.WriteString("|---|---:|---:|---:|---:|\n")
+
 	warnings := 0
 	for _, c := range cur.Benchmarks {
 		b, ok := baseline[c.Name]
 		if !ok {
 			fmt.Printf("  %-28s (new — no baseline)\n", c.Name)
+			fmt.Fprintf(&md, "| %s | — | %.0f | new | — |\n", c.Name, c.NsPerOp)
 			continue
 		}
 		ratio := 0.0
@@ -81,6 +95,12 @@ func main() {
 			ratio = c.NsPerOp / b.NsPerOp
 		}
 		fmt.Printf("  %-28s %12.0f -> %12.0f ns/op  (%.2fx)\n", c.Name, b.NsPerOp, c.NsPerOp, ratio)
+		mark := ""
+		if ratio > *threshold {
+			mark = " ⚠️"
+		}
+		fmt.Fprintf(&md, "| %s | %.0f | %.0f | %.2fx%s | %+.0f |\n",
+			c.Name, b.NsPerOp, c.NsPerOp, ratio, mark, c.AllocsPerOp-b.AllocsPerOp)
 		if ratio > *threshold {
 			fmt.Printf("::warning title=benchmark regression::%s is %.2fx slower than"+
 				" baseline (%.0f -> %.0f ns/op, threshold %.2fx)\n",
@@ -99,7 +119,17 @@ func main() {
 		if !found {
 			fmt.Printf("::warning title=benchmark missing::%s is in the baseline but not the"+
 				" current run\n", b.Name)
+			fmt.Fprintf(&md, "| %s | %.0f | — | missing ⚠️ | — |\n", b.Name, b.NsPerOp)
 			warnings++
+		}
+	}
+	if warnings > 0 {
+		fmt.Fprintf(&md, "\n%d warning(s); ⚠️ marks benchmarks past the threshold or missing.\n", warnings)
+	}
+	if *mdPath != "" {
+		if err := os.WriteFile(*mdPath, []byte(md.String()), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "benchcmp: -md: %v\n", err)
+			os.Exit(1)
 		}
 	}
 	if warnings > 0 && *strict {

@@ -31,6 +31,15 @@
 // decisions, prices, and end-to-end simulated times are compared.
 // -measured applies the same loop to the implicit experiment itself.
 //
+// -spans streams the causal span layer: every epoch-driving world's
+// per-rank phase spans (solve, halo, collective, SPAI, refine,
+// repartition, migrate...) plus a per-epoch wait-blame summary that
+// attributes the critical path's wait time to lagging senders,
+// contended links, wire latency, or idleness.  The stream is
+// bounded-memory (per-rank span rings spill to the file), byte-
+// deterministic, and pure observation.  plumviz -blame renders it;
+// -serve exposes it live at /spans.
+//
 // By default a reduced-scale mesh (~4k elements, P up to 16) reproduces
 // the qualitative shapes in seconds; -paper switches to the
 // 60,912-element mesh and processor counts up to 64 (several minutes).
@@ -91,6 +100,11 @@ func main() {
 		" one record per adaption epoch of the epoch-driving experiments (implicit,"+
 		" feedback), host-metrics snapshot, end record with an output checksum."+
 		" Observation only: simulated outputs are byte-identical with or without it")
+	spansPath := flag.String("spans", "", "stream phase spans (JSONL) to this file: one"+
+		" stream per world of the epoch-driving experiments (implicit, feedback), each"+
+		" rank's timeline cut into nested phase spans with a per-epoch wait-blame"+
+		" summary.  Bounded memory (per-rank span ring), deterministic bytes, and"+
+		" observation only, like -obs.  Render with plumviz -blame")
 	serveAddr := flag.String("serve", "", "serve /metrics (Prometheus text), /runs,"+
 		" /healthz, and /debug/pprof on this address during and after the run"+
 		" (e.g. 127.0.0.1:9090); the process then stays up until interrupted")
@@ -143,10 +157,18 @@ func main() {
 		outSum = sha256.New()
 		w = io.MultiWriter(os.Stdout, outSum)
 	}
+	if *spansPath != "" {
+		sink, err := core.CreateSpanSink(*spansPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "plumbench: -spans: %v\n", err)
+			os.Exit(1)
+		}
+		e.Spans = sink
+	}
 	var srv *server
 	if *serveAddr != "" {
 		var err error
-		if srv, err = startServe(*serveAddr, *obsPath); err != nil {
+		if srv, err = startServe(*serveAddr, *obsPath, *spansPath); err != nil {
 			fmt.Fprintf(os.Stderr, "plumbench: -serve: %v\n", err)
 			os.Exit(1)
 		}
@@ -163,9 +185,19 @@ func main() {
 	fmt.Fprintf(w, "PLUM reproduction — Oliker & Biswas, SPAA 1997 (%s: %d elements, P in %v, machine: %s)\n\n",
 		scale, e.Global.NumElems(), e.Ps, modelName)
 
-	// finishRun seals the ledger (metrics snapshot + output checksum) and
-	// hands off to the serve loop; it runs after ANY experiment path.
+	// finishRun seals the span file and the ledger (metrics snapshot +
+	// output checksum) and hands off to the serve loop; it runs after ANY
+	// experiment path.
 	finishRun := func() {
+		if e.Spans != nil {
+			worlds := e.Spans.Worlds()
+			if err := e.Spans.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "plumbench: -spans: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "plumbench: wrote span file %s (%d world streams)\n",
+				*spansPath, worlds)
+		}
 		if e.Obs != nil {
 			sum := ""
 			if outSum != nil {

@@ -10,6 +10,7 @@ import (
 	"path/filepath"
 	"sync/atomic"
 
+	"plum/internal/event"
 	"plum/internal/obs"
 )
 
@@ -21,33 +22,38 @@ import (
 //
 //	/metrics        the obs registry, Prometheus text exposition
 //	/runs           JSON listing of *.jsonl ledgers in the ledger dir
+//	/spans          JSON summary of the -spans file (worlds, blame)
 //	/healthz        {"status":"running"|"done"} — CI polls this
 //	/debug/pprof/*  the standard Go profiler endpoints
 
 // server publishes the registry and ledger directory over HTTP.
 type server struct {
-	dir  string // directory listed by /runs
-	done atomic.Bool
+	dir   string // directory listed by /runs
+	spans string // the -spans file served by /spans ("" = none)
+	addr  string // bound listen address (resolves ":0" for tests)
+	done  atomic.Bool
 }
 
 // startServe binds addr synchronously (so a bad address fails the run
 // before any experiment starts) and serves in the background.
-func startServe(addr, ledgerPath string) (*server, error) {
+func startServe(addr, ledgerPath, spansPath string) (*server, error) {
 	dir := "."
 	if ledgerPath != "" {
 		dir = filepath.Dir(ledgerPath)
 	}
-	s := &server{dir: dir}
+	s := &server{dir: dir, spans: spansPath}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
+	s.addr = ln.Addr().String()
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 		obs.Default.WritePrometheus(w)
 	})
 	mux.HandleFunc("/runs", s.handleRuns)
+	mux.HandleFunc("/spans", s.handleSpans)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		status := "running"
 		if s.done.Load() {
@@ -67,22 +73,24 @@ func startServe(addr, ledgerPath string) (*server, error) {
 			os.Exit(1)
 		}
 	}()
-	fmt.Fprintf(os.Stderr, "plumbench: serving /metrics, /runs, /healthz, /debug/pprof on %s\n",
+	fmt.Fprintf(os.Stderr, "plumbench: serving /metrics, /runs, /spans, /healthz, /debug/pprof on %s\n",
 		ln.Addr())
 	return s, nil
 }
 
 // runEntry is one /runs listing line.
 type runEntry struct {
-	File   string `json:"file"`
-	Size   int64  `json:"size"`
-	Epochs int    `json:"epochs,omitempty"`
-	Error  string `json:"error,omitempty"` // unreadable or still-streaming ledger
+	File      string `json:"file"`
+	Size      int64  `json:"size"`
+	Epochs    int    `json:"epochs,omitempty"`
+	Streaming bool   `json:"streaming,omitempty"` // no end record yet (run in progress)
+	Error     string `json:"error,omitempty"`     // unreadable ledger
 }
 
 // handleRuns lists the ledgers next to the -obs path.  A ledger being
-// written concurrently fails validation (no end record yet) — that is
-// reported per entry, not as a request failure.
+// written concurrently has no end record yet; the lenient reader
+// reports the epochs flushed so far with Streaming set, so a live
+// scrape sees progress instead of an error.
 func (s *server) handleRuns(w http.ResponseWriter, r *http.Request) {
 	paths, _ := filepath.Glob(filepath.Join(s.dir, "*.jsonl"))
 	entries := []runEntry{}
@@ -91,12 +99,56 @@ func (s *server) handleRuns(w http.ResponseWriter, r *http.Request) {
 		if fi, err := os.Stat(p); err == nil {
 			e.Size = fi.Size()
 		}
-		if lf, err := obs.ReadLedgerFile(p); err != nil {
+		if lf, trunc, err := obs.ReadLedgerFileLenient(p); err != nil {
 			e.Error = err.Error()
 		} else {
 			e.Epochs = len(lf.Epochs)
+			e.Streaming = trunc
 		}
 		entries = append(entries, e)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(entries)
+}
+
+// spanWorldEntry is one world stream of the /spans response: the stream
+// header plus the bounded per-epoch blame summaries — never the spans
+// themselves, which may number millions.
+type spanWorldEntry struct {
+	Label      map[string]string  `json:"label,omitempty"`
+	P          int                `json:"p"`
+	Ring       int                `json:"ring"`
+	Sample     int                `json:"sample"`
+	Spans      int                `json:"spans"`
+	Epochs     int                `json:"epochs"`
+	SampledOut int64              `json:"sampled_out,omitempty"`
+	Complete   bool               `json:"complete"`
+	Blame      []event.EpochBlame `json:"blame,omitempty"`
+}
+
+// handleSpans summarizes the -spans file.  The reader tolerates a file
+// still being appended to (incomplete trailing stream), so live scrapes
+// during a run see every world flushed so far.
+func (s *server) handleSpans(w http.ResponseWriter, r *http.Request) {
+	if s.spans == "" {
+		http.Error(w, "no -spans file for this run", http.StatusNotFound)
+		return
+	}
+	worlds, err := event.ReadSpansFile(s.spans)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	entries := make([]spanWorldEntry, len(worlds))
+	for i, sw := range worlds {
+		entries[i] = spanWorldEntry{
+			Label: sw.Label, P: sw.P, Ring: sw.Ring, Sample: sw.Sample,
+			Spans: len(sw.Spans), Epochs: sw.Epochs,
+			SampledOut: sw.SampledOut, Complete: sw.Complete,
+			Blame: sw.Blame,
+		}
 	}
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)

@@ -18,11 +18,21 @@
 // With -ledger the command does not simulate at all: it reads a run
 // ledger written by plumbench -obs and renders it back into the
 // paper-style per-epoch league table — decision, prices, moved weight,
-// edge cut, and critical-path decomposition per adaption epoch.
+// edge cut, and critical-path decomposition per adaption epoch, plus
+// the wait-blame decomposition when the run recorded it.  A truncated
+// ledger (a run killed mid-stream) renders the epochs flushed before
+// the cut with a warning instead of failing.
+//
+// With -blame the command renders a span file written by plumbench
+// -spans: the per-epoch wait-blame tables (who the critical path
+// waited on — lagging sender compute by rank and phase, contended
+// links, wire latency), the aggregated sender-lag league across
+// epochs, and the span census by phase.
 //
 // Usage: plumviz [-p procs] [-frac f] [-o out.vtk] [-trace out.json]
 //
 //	plumviz -ledger run.jsonl
+//	plumviz -blame spans.jsonl
 package main
 
 import (
@@ -30,6 +40,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"sort"
+	"strings"
 
 	"plum/internal/adapt"
 	"plum/internal/core"
@@ -52,10 +64,18 @@ func main() {
 	tracePath := flag.String("trace", "", "also write the run's event timeline as Chrome-tracing JSON")
 	ledgerPath := flag.String("ledger", "", "render a plumbench -obs run ledger as a per-epoch"+
 		" league table instead of running a simulation")
+	blamePath := flag.String("blame", "", "render a plumbench -spans span file: per-epoch"+
+		" wait-blame tables, the aggregated sender-lag league, and the span census")
 	flag.Parse()
 
 	if *ledgerPath != "" {
 		if err := renderLedger(os.Stdout, *ledgerPath); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *blamePath != "" {
+		if err := renderBlame(os.Stdout, *blamePath); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -68,16 +88,18 @@ func main() {
 	cfg := core.DefaultConfig()
 
 	// Event recording costs memory proportional to the run; only pay it
-	// when the timeline was actually requested.
-	run := func(fn func(*msg.Comm)) ([]float64, *event.Trace) {
+	// when the timeline was actually requested.  The traced run also
+	// collects the phase spans in memory (nil sink), so the Chrome
+	// export can nest each rank's records under its phases.
+	run := func(fn func(*msg.Comm)) ([]float64, *event.Trace, *event.SpanLog) {
 		if *tracePath == "" {
-			return msg.RunModel(*p, msg.SP2Model(), fn), nil
+			return msg.RunModel(*p, msg.SP2Model(), fn), nil, nil
 		}
-		return msg.RunTraced(*p, msg.SP2Model(), fn)
+		return msg.RunTracedSpans(*p, msg.SP2Model(), event.SpanOptions{}, fn)
 	}
 
 	var failed error
-	times, trace := run(func(c *msg.Comm) {
+	times, trace, spans := run(func(c *msg.Comm) {
 		d := pmesh.New(c, global, initPart, solver.NComp)
 		ps := solver.NewParallel(d)
 		ps.InitParallel(solver.GaussianPulse(mesh.Vec3{2, 1.5, 1}, 0.6))
@@ -109,12 +131,14 @@ func main() {
 		log.Fatal(failed)
 	}
 	if *tracePath != "" {
-		if err := trace.WriteChromeFile(*tracePath); err != nil {
+		all := spans.All()
+		if err := trace.WriteChromeFileSpans(*tracePath, all); err != nil {
 			log.Fatal(err)
 		}
 		cp := event.CriticalPath(trace)
-		fmt.Printf("wrote %s (%d events, makespan %.4fs: %.4fs compute, %.4fs overhead, %.4fs comm wait on the critical path)\n",
-			*tracePath, len(trace.Records), msg.MaxTime(times), cp.Compute, cp.Overhead, cp.CommWait)
+		fmt.Printf("wrote %s (%d events, %d phase spans, makespan %.4fs: %.4fs compute, %.4fs overhead, %.4fs comm wait on the critical path)\n",
+			*tracePath, len(trace.Records), len(all), msg.MaxTime(times),
+			cp.Compute, cp.Overhead, cp.CommWait)
 
 		// The numeric counterpart of the timeline: each rank's cost
 		// decomposition — the same aggregation the measured-cost feedback
@@ -122,18 +146,55 @@ func main() {
 		prof := profile.FromTrace(trace, 0, len(trace.Records), nil)
 		t := report.NewTable("Per-rank cost profile (simulated seconds)",
 			"Rank", "compute", "overhead", "halo wait", "coll wait",
-			"mig wait", "other wait", "CP share")
+			"mig wait", "other wait", "top phase", "CP share")
 		for r, rp := range prof.Ranks {
+			ph, sec := rp.TopPhase()
+			top := "-"
+			if sec > 0 {
+				top = fmt.Sprintf("%s %.4f", ph, sec)
+			}
 			t.AddRow(r,
 				fmt.Sprintf("%.4f", rp.Compute), fmt.Sprintf("%.4f", rp.Overhead),
 				fmt.Sprintf("%.4f", rp.Wait[profile.ClassHalo]),
 				fmt.Sprintf("%.4f", rp.Wait[profile.ClassCollective]),
 				fmt.Sprintf("%.4f", rp.Wait[profile.ClassMigration]),
 				fmt.Sprintf("%.4f", rp.Wait[profile.ClassOther]),
+				top,
 				fmt.Sprintf("%.1f%%", 100*prof.PathShare(r)))
 		}
 		t.Render(os.Stdout)
+
+		// Who the critical path waited on, transitively attributed.
+		renderBlameReport(os.Stdout, event.WaitBlame(trace, &cp))
 		engineSummary(os.Stdout, len(trace.Records))
+	}
+}
+
+// renderBlameReport prints one BlameReport as the standard culprit
+// decomposition plus its top lag cells and edges.
+func renderBlameReport(w *os.File, b *event.BlameReport) {
+	fmt.Fprintf(w, "Wait-blame: %.4fs attributed — %.4fs sender compute, %.4fs sender overhead,"+
+		" %.4fs contention, %.4fs wire, %.4fs idle\n",
+		b.Wait,
+		b.ByKind[event.BlameSenderCompute], b.ByKind[event.BlameSenderOverhead],
+		b.ByKind[event.BlameContention], b.ByKind[event.BlameWire],
+		b.ByKind[event.BlameIdle])
+	if lags := b.TopLag(5); len(lags) > 0 {
+		t := report.NewTable("Top lagging senders (rank x phase, simulated seconds)",
+			"Rank", "Phase", "lag(s)")
+		for _, l := range lags {
+			t.AddRow(l.Rank, l.Phase, fmt.Sprintf("%.4f", l.Seconds))
+		}
+		t.Render(w)
+	}
+	if edges := b.TopEdges(5); len(edges) > 0 {
+		t := report.NewTable("Top delaying edges (post-send queue + wire, simulated seconds)",
+			"Edge", "queue(s)", "wire(s)", "msgs")
+		for _, e := range edges {
+			t.AddRow(fmt.Sprintf("%d->%d", e.Src, e.Dst),
+				fmt.Sprintf("%.4f", e.Queue), fmt.Sprintf("%.4f", e.Wire), e.Count)
+		}
+		t.Render(w)
 	}
 }
 
@@ -157,11 +218,19 @@ func engineSummary(w *os.File, events int) {
 }
 
 // renderLedger reads a plumbench run ledger and renders the paper-style
-// per-epoch league table.
+// per-epoch league table.  A truncated ledger — the producing run was
+// killed before the end record, or is still streaming — renders what
+// was flushed, with a warning, instead of failing: the partial table is
+// exactly what a post-mortem needs.
 func renderLedger(w *os.File, path string) error {
-	lf, err := obs.ReadLedgerFile(path)
+	lf, truncated, err := obs.ReadLedgerFileLenient(path)
 	if err != nil {
 		return err
+	}
+	if truncated {
+		fmt.Fprintf(w, "warning: ledger %s is truncated (no end record — run killed or still"+
+			" streaming); rendering the %d epochs flushed before the cut\n",
+			path, len(lf.Epochs))
 	}
 	m := lf.Manifest
 	fmt.Fprintf(w, "ledger %s: %s run %s (config %s, git %s, %s %s/%s, GOMAXPROCS=%d)\n",
@@ -197,6 +266,7 @@ func renderLedger(w *os.File, path string) error {
 			fmt.Sprintf("%.4f", e.SolveSeconds), waitShare)
 	}
 	t.Render(w)
+	renderLedgerBlame(w, lf.Epochs)
 	if lf.Metrics != nil {
 		fmt.Fprintf(w, "host metrics: %.0f worlds, %.0f engine yields (%.0f fast-path),"+
 			" %.0f msg-pool shell hits / %.0f misses\n",
@@ -207,6 +277,216 @@ func renderLedger(w *os.File, path string) error {
 			lf.Metrics[`plum_msg_pool_shells_total{result="hit"}`],
 			lf.Metrics[`plum_msg_pool_shells_total{result="miss"}`])
 	}
-	fmt.Fprintf(w, "%d epochs; output checksum %s\n", lf.End.Epochs, lf.End.OutputSHA256)
+	if truncated {
+		fmt.Fprintf(w, "%d epochs (partial); no end record, no output checksum\n", len(lf.Epochs))
+	} else {
+		fmt.Fprintf(w, "%d epochs; output checksum %s\n", lf.End.Epochs, lf.End.OutputSHA256)
+	}
 	return nil
+}
+
+// renderLedgerBlame prints the per-epoch wait-blame decomposition for
+// ledgers whose runs recorded it (plumbench -obs on a traced run).
+func renderLedgerBlame(w *os.File, epochs []obs.EpochRecord) {
+	any := false
+	for _, e := range epochs {
+		if e.Blame != nil {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return
+	}
+	t := report.NewTable("Wait-blame by epoch (simulated seconds)",
+		"Exp", "Model", "Run", "P", "epoch", "wait", "sender comp", "sender ovhd",
+		"contention", "wire", "idle", "top lag")
+	for _, e := range epochs {
+		b := e.Blame
+		if b == nil {
+			continue
+		}
+		topLag := "-"
+		if b.TopRank >= 0 {
+			topLag = fmt.Sprintf("r%d/%s %.4f", b.TopRank, b.TopPhase, b.TopLag)
+		}
+		model := e.Model
+		if model == "" {
+			model = "flat"
+		}
+		t.AddRow(e.Exp, model, e.Run, e.P, e.Cycle,
+			fmt.Sprintf("%.4f", b.Wait),
+			fmt.Sprintf("%.4f", b.SenderCompute), fmt.Sprintf("%.4f", b.SenderOverhead),
+			fmt.Sprintf("%.4f", b.Contention), fmt.Sprintf("%.4f", b.Wire),
+			fmt.Sprintf("%.4f", b.Idle), topLag)
+	}
+	t.Render(w)
+}
+
+// renderBlame reads a plumbench -spans span file and renders, per world
+// stream: the per-epoch wait-blame table, the sender-lag league
+// aggregated across epochs, the most-delaying causality edges, and the
+// span census by phase.
+func renderBlame(w *os.File, path string) error {
+	worlds, err := event.ReadSpansFile(path)
+	if err != nil {
+		return err
+	}
+	for wi, sw := range worlds {
+		fmt.Fprintf(w, "world %d: %s — P=%d, ring=%d, sample=%d, %d spans, %d epochs",
+			wi, labelString(sw.Label), sw.P, sw.Ring, sw.Sample, len(sw.Spans), len(sw.Blame))
+		if !sw.Complete {
+			fmt.Fprint(w, " (stream truncated — run killed or still streaming)")
+		}
+		fmt.Fprintln(w)
+
+		t := report.NewTable("Wait-blame by epoch (simulated seconds)",
+			"epoch", "wait", "sender comp", "sender ovhd", "contention", "wire", "idle",
+			"top lag", "top edge")
+		for _, eb := range sw.Blame {
+			topLag, topEdge := "-", "-"
+			if len(eb.Lag) > 0 {
+				l := eb.Lag[0]
+				topLag = fmt.Sprintf("r%d/%s %.4f", l.Rank, l.Phase, l.Seconds)
+			}
+			if len(eb.Edges) > 0 {
+				e := eb.Edges[0]
+				topEdge = fmt.Sprintf("%d->%d %.4f", e.Src, e.Dst, e.Queue+e.Wire)
+			}
+			t.AddRow(eb.Epoch,
+				fmt.Sprintf("%.4f", eb.Wait),
+				fmt.Sprintf("%.4f", eb.SenderCompute), fmt.Sprintf("%.4f", eb.SenderOverhead),
+				fmt.Sprintf("%.4f", eb.Contention), fmt.Sprintf("%.4f", eb.Wire),
+				fmt.Sprintf("%.4f", eb.Idle), topLag, topEdge)
+		}
+		t.Render(w)
+
+		renderLagLeague(w, sw)
+		renderSpanCensus(w, sw)
+	}
+	return nil
+}
+
+// renderLagLeague aggregates the per-epoch top-lag cells and edges of
+// one world stream across its epochs.  Because the stream serializes
+// only each epoch's top-k cells (the rest folds into lag_other), the
+// league is a lower bound per cell; the "other" row restores the total.
+func renderLagLeague(w *os.File, sw event.SpanWorld) {
+	type cell struct {
+		rank int
+		ph   string
+	}
+	lag := map[cell]float64{}
+	var other float64
+	edges := map[[2]int]*event.EdgeBlame{}
+	for _, eb := range sw.Blame {
+		for _, l := range eb.Lag {
+			lag[cell{l.Rank, l.Phase}] += l.Seconds
+		}
+		other += eb.LagOther
+		for _, e := range eb.Edges {
+			key := [2]int{e.Src, e.Dst}
+			agg := edges[key]
+			if agg == nil {
+				agg = &event.EdgeBlame{Src: e.Src, Dst: e.Dst}
+				edges[key] = agg
+			}
+			agg.Queue += e.Queue
+			agg.Wire += e.Wire
+			agg.Count += e.Count
+		}
+	}
+	if len(lag) > 0 || other > 0 {
+		var cells []event.LagEntry
+		for c, s := range lag {
+			cells = append(cells, event.LagEntry{Rank: c.rank, Phase: c.ph, Seconds: s})
+		}
+		sort.Slice(cells, func(i, j int) bool {
+			if cells[i].Seconds != cells[j].Seconds {
+				return cells[i].Seconds > cells[j].Seconds
+			}
+			if cells[i].Rank != cells[j].Rank {
+				return cells[i].Rank < cells[j].Rank
+			}
+			return cells[i].Phase < cells[j].Phase
+		})
+		if len(cells) > 10 {
+			cells = cells[:10]
+		}
+		t := report.NewTable("Sender-lag league, all epochs (simulated seconds)",
+			"Rank", "Phase", "lag(s)")
+		for _, c := range cells {
+			t.AddRow(c.Rank, c.Phase, fmt.Sprintf("%.4f", c.Seconds))
+		}
+		if other > 0 {
+			t.AddRow("-", "other", fmt.Sprintf("%.4f", other))
+		}
+		t.Render(w)
+	}
+	if len(edges) > 0 {
+		var all []event.EdgeBlame
+		for _, e := range edges {
+			all = append(all, *e)
+		}
+		sort.Slice(all, func(i, j int) bool {
+			ti, tj := all[i].Queue+all[i].Wire, all[j].Queue+all[j].Wire
+			if ti != tj {
+				return ti > tj
+			}
+			if all[i].Src != all[j].Src {
+				return all[i].Src < all[j].Src
+			}
+			return all[i].Dst < all[j].Dst
+		})
+		if len(all) > 10 {
+			all = all[:10]
+		}
+		t := report.NewTable("Top delaying edges, all epochs (queue + wire, simulated seconds)",
+			"Edge", "queue(s)", "wire(s)", "msgs")
+		for _, e := range all {
+			t.AddRow(fmt.Sprintf("%d->%d", e.Src, e.Dst),
+				fmt.Sprintf("%.4f", e.Queue), fmt.Sprintf("%.4f", e.Wire), e.Count)
+		}
+		t.Render(w)
+	}
+}
+
+// renderSpanCensus tabulates the stream's spans by phase.  Nested spans
+// overlap their parents, so the seconds column sums span-local time,
+// not a partition of the makespan.
+func renderSpanCensus(w *os.File, sw event.SpanWorld) {
+	if len(sw.Spans) == 0 {
+		return
+	}
+	var count [event.NumPhases]int
+	var secs [event.NumPhases]float64
+	for _, sp := range sw.Spans {
+		count[sp.Phase]++
+		secs[sp.Phase] += sp.T1 - sp.T0
+	}
+	t := report.NewTable("Span census by phase", "Phase", "spans", "seconds")
+	for ph := event.Phase(0); ph < event.NumPhases; ph++ {
+		if count[ph] == 0 {
+			continue
+		}
+		t.AddRow(ph.String(), count[ph], fmt.Sprintf("%.4f", secs[ph]))
+	}
+	t.Render(w)
+}
+
+// labelString renders a stream-header label map in sorted-key order.
+func labelString(label map[string]string) string {
+	if len(label) == 0 {
+		return "(unlabeled)"
+	}
+	keys := make([]string, 0, len(label))
+	for k := range label {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = k + "=" + label[k]
+	}
+	return strings.Join(parts, " ")
 }

@@ -44,6 +44,14 @@ type Experiments struct {
 	// unless Measured also changes the decisions.
 	Obs *obs.Ledger
 
+	// Spans, when non-nil, streams every epoch-driving world's phase
+	// spans and per-epoch wait-blame summaries into one span file
+	// (epoch runs execute traced whenever Spans is set, exactly as with
+	// Obs).  Like the ledger, span recording is observation-only and
+	// the file's bytes are deterministic: worlds stream into private
+	// buffers that flush after the barrier, in loop order.
+	Spans *SpanSink
+
 	initParts map[int][]int32 // cached initial partition per P
 }
 

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"bytes"
+
 	"plum/internal/adapt"
 	"plum/internal/machine"
 	"plum/internal/mesh"
@@ -46,6 +48,9 @@ type FeedbackRun struct {
 	// set).  FeedbackComparison flushes them after the world barrier so
 	// ledger order is deterministic.
 	recs []obs.EpochRecord
+	// spans is the run's serialized span stream (only when e.Spans is
+	// set), flushed after the barrier like recs.
+	spans *bytes.Buffer
 }
 
 // FeedbackPair is the analytic/measured comparison on one topology.
@@ -108,7 +113,7 @@ func (e *Experiments) RunFeedback(p, cycles int, model string, measured bool) Fe
 		cfg.Topo = topo
 		cfg.ForceAccept = false
 		cfg.Measured = measured
-		cfg.Observe = e.Obs != nil
+		cfg.Observe = e.Obs != nil || e.Spans != nil
 		// One solver step between adaptions puts the analytic gain —
 		// Titer, a constant calibrated for the explicit solver — in the
 		// same range as the redistribution cost, which is exactly where
@@ -151,9 +156,15 @@ func (e *Experiments) RunFeedback(p, cycles int, model string, measured bool) Fe
 		}
 	}
 	var times []float64
-	if measured || e.Obs != nil {
+	switch {
+	case e.Spans != nil:
+		run.spans = new(bytes.Buffer)
+		opts := e.Spans.options(
+			spanLabel("feedback", model, pricingMode(measured), p), run.spans)
+		times, _, _ = msg.RunTracedSpans(p, mod, opts, body)
+	case measured || e.Obs != nil:
 		times, _ = msg.RunTraced(p, mod, body)
-	} else {
+	default:
 		times = msg.RunModel(p, mod, body)
 	}
 	run.SimTime = msg.MaxTime(times)
@@ -179,6 +190,12 @@ func (e *Experiments) FeedbackComparison(p, cycles int, models []string) []Feedb
 		for _, pair := range pairs {
 			e.Obs.Add(pair.Analytic.recs...)
 			e.Obs.Add(pair.Measured.recs...)
+		}
+	}
+	if e.Spans != nil {
+		for i := range pairs {
+			e.Spans.flush(pairs[i].Analytic.spans)
+			e.Spans.flush(pairs[i].Measured.spans)
 		}
 	}
 	return pairs

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"bytes"
+
 	"plum/internal/linalg"
 	"plum/internal/mesh"
 	"plum/internal/msg"
@@ -55,6 +57,7 @@ func (e *Experiments) ImplicitScaling(cycles int) []ImplicitRow {
 	e.prewarmPartitions(e.Ps)
 	rows := make([]ImplicitRow, len(e.Ps))
 	recs := make([][]obs.EpochRecord, len(e.Ps))
+	sbufs := make([]*bytes.Buffer, len(e.Ps))
 	runWorlds(len(e.Ps), func(i int) {
 		p := e.Ps[i]
 		initPart := e.initialPartition(p)
@@ -64,7 +67,7 @@ func (e *Experiments) ImplicitScaling(cycles int) []ImplicitRow {
 			d := pmesh.New(c, e.Global, initPart, solver.NComp)
 			cfg := e.implicitConfig()
 			cfg.Topo = mod.Topo
-			cfg.Observe = e.Obs != nil
+			cfg.Observe = e.Obs != nil || e.Spans != nil
 			if e.Measured {
 				// Measured-cost loop: decisions gate on the previous
 				// epoch's profile instead of always remapping.
@@ -107,9 +110,15 @@ func (e *Experiments) ImplicitScaling(cycles int) []ImplicitRow {
 				MassDiagnost: last.Mass,
 			}
 		}
-		if e.Measured || e.Obs != nil {
+		switch {
+		case e.Spans != nil:
+			sbufs[i] = new(bytes.Buffer)
+			opts := e.Spans.options(
+				spanLabel("implicit", e.ModelName, pricingMode(e.Measured), p), sbufs[i])
+			msg.RunTracedSpans(p, mod, opts, body)
+		case e.Measured || e.Obs != nil:
 			msg.RunTraced(p, mod, body)
-		} else {
+		default:
 			msg.RunModel(p, mod, body)
 		}
 		rows[i] = row
@@ -117,6 +126,11 @@ func (e *Experiments) ImplicitScaling(cycles int) []ImplicitRow {
 	if e.Obs != nil {
 		for _, r := range recs {
 			e.Obs.Add(r...)
+		}
+	}
+	if e.Spans != nil {
+		for _, b := range sbufs {
+			e.Spans.flush(b)
 		}
 	}
 	return rows

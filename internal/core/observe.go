@@ -1,6 +1,7 @@
 package core
 
 import (
+	"plum/internal/event"
 	"plum/internal/obs"
 	"plum/internal/profile"
 )
@@ -67,6 +68,28 @@ func epochRecord(exp, model, run string, p, cycle int, cs CycleStats, edgeCut in
 				PathShare: pr.PathShare(i),
 			}
 		}
+	}
+	if b := cs.Blame; b != nil {
+		br := &obs.BlameRecord{
+			Wait:           b.Wait,
+			SenderCompute:  b.ByKind[event.BlameSenderCompute],
+			SenderOverhead: b.ByKind[event.BlameSenderOverhead],
+			Contention:     b.ByKind[event.BlameContention],
+			Wire:           b.ByKind[event.BlameWire],
+			Idle:           b.ByKind[event.BlameIdle],
+			TopRank:        -1,
+		}
+		if top := b.TopLag(1); len(top) > 0 {
+			br.TopRank = top[0].Rank
+			br.TopPhase = top[0].Phase
+			br.TopLag = top[0].Seconds
+		}
+		for _, e := range b.TopEdges(3) {
+			br.TopEdges = append(br.TopEdges, obs.BlameEdge{
+				Src: e.Src, Dst: e.Dst, Seconds: e.Queue + e.Wire,
+			})
+		}
+		r.Blame = br
 	}
 	return r
 }

@@ -5,6 +5,7 @@ import (
 
 	"plum/internal/adapt"
 	"plum/internal/dual"
+	"plum/internal/event"
 	"plum/internal/machine"
 	"plum/internal/mesh"
 	"plum/internal/msg"
@@ -71,13 +72,17 @@ func AdaptionStep(c *msg.Comm, d *pmesh.DistMesh, g *dual.Graph,
 	timer := newPhaseTimer(c)
 
 	// --- Mark: target edges and propagate to a global fixpoint.
+	c.PushPhase(event.PhaseMark)
 	d.MarkGeometricFraction(ind, frac)
 	st.Rounds = d.PropagateParallel()
+	c.PopPhase()
 	st.MarkTime = timer.Lap()
 
 	if !cfg.RemapBefore {
 		// Remap-after ordering: subdivide on the old partitions first.
+		c.PushPhase(event.PhaseRefine)
 		st.Refine = d.Refine()
+		c.PopPhase()
 		st.RefineTime = timer.Lap()
 	}
 
@@ -100,7 +105,9 @@ func AdaptionStep(c *msg.Comm, d *pmesh.DistMesh, g *dual.Graph,
 		st.Balanced = true
 		st.WNewMax = st.WOldMax
 		if cfg.RemapBefore {
+			c.PushPhase(event.PhaseRefine)
 			st.Refine = d.Refine()
+			c.PopPhase()
 			st.RefineTime = timer.Lap()
 		}
 		st.Counts = d.GlobalCounts()
@@ -120,7 +127,9 @@ func AdaptionStep(c *msg.Comm, d *pmesh.DistMesh, g *dual.Graph,
 	if cfg.Topo != nil && popt.TargetShares == nil {
 		popt.TargetShares = machine.SpeedShares(cfg.Topo, c.Size()*cfg.F)
 	}
+	c.PushPhase(event.PhaseRepartition)
 	pr := partition.ParallelRepartition(c, g, c.Size()*cfg.F, d.RootOwner, popt)
+	c.PopPhase()
 	newPart := pr.Part
 	st.PartitionTime = timer.Lap()
 
@@ -130,6 +139,8 @@ func AdaptionStep(c *msg.Comm, d *pmesh.DistMesh, g *dual.Graph,
 	var s *remap.Similarity
 	var assign []int32
 	reassign := func() {
+		c.PushPhase(event.PhaseReassign)
+		defer c.PopPhase()
 		s = remap.BuildSimilarityDistributed(c, d.LocalRootIDs(), wr, newPart, cfg.F)
 		var a []int32
 		if c.Rank() == 0 {
@@ -161,7 +172,9 @@ func AdaptionStep(c *msg.Comm, d *pmesh.DistMesh, g *dual.Graph,
 		if re := machine.SpeedSharesAssigned(cfg.Topo, assign); re != nil && !slices.Equal(re, popt.TargetShares) {
 			st.Repriced = true
 			popt.TargetShares = re
+			c.PushPhase(event.PhaseRepartition)
 			pr = partition.ParallelRepartition(c, g, c.Size()*cfg.F, d.RootOwner, popt)
+			c.PopPhase()
 			newPart = pr.Part
 			reassign()
 		}
@@ -216,6 +229,7 @@ func AdaptionStep(c *msg.Comm, d *pmesh.DistMesh, g *dual.Graph,
 	// remap-before ordering the edge marks travel with the families, so
 	// the migrated mesh arrives ready for subdivision.
 	if st.Accepted {
+		c.PushPhase(event.PhaseMigrate)
 		mig := d.Migrate(newOwner)
 		// Aggregate the per-rank statistics so every rank reports the
 		// global movement.
@@ -225,6 +239,7 @@ func AdaptionStep(c *msg.Comm, d *pmesh.DistMesh, g *dual.Graph,
 		st.Mig.MsgsSent = int(c.AllreduceInt64(int64(mig.MsgsSent), msg.SumInt64))
 		st.Mig.FamiliesRecv = st.Mig.FamiliesSent
 		st.Mig.ElemsRecv = st.Mig.ElemsSent
+		c.PopPhase()
 	}
 	st.RemapTime = timer.Lap()
 
@@ -233,7 +248,9 @@ func AdaptionStep(c *msg.Comm, d *pmesh.DistMesh, g *dual.Graph,
 	// since the new partitions equalize the predicted post-refinement
 	// loads.
 	if cfg.RemapBefore {
+		c.PushPhase(event.PhaseRefine)
 		st.Refine = d.Refine()
+		c.PopPhase()
 		st.RefineTime = timer.Lap()
 	}
 

@@ -59,6 +59,12 @@ type CycleStats struct {
 	PCGIters     int  // total PCG iterations this cycle
 	PCGConverged bool // every solve hit the tolerance
 
+	// Blame is the wait-blame attribution of this cycle's critical path
+	// (rank 0 of a traced run; nil otherwise): every second the path
+	// waited, charged to a lagging sender's compute, a contended link,
+	// wire latency, or idleness (event.WaitBlame).
+	Blame *event.BlameReport
+
 	// Profile is the cost profile measured over this cycle (rank 0 of a
 	// traced run with Cfg.Measured set; nil otherwise).  The *next*
 	// cycle's gain/cost decision consumes it.
@@ -100,7 +106,9 @@ func (u *Unsteady) Cycle() CycleStats {
 	}
 
 	if u.CoarsenBelow > 0 && u.cycle > 0 {
+		c.PushPhase(event.PhaseCoarsen)
 		cs.Coarsen = u.D.ParallelCoarsen(ind, u.CoarsenBelow)
+		c.PopPhase()
 	}
 	gv := u.G.WithWeights(u.G.WComp, u.G.WRemap)
 	cfg := u.Cfg
@@ -125,14 +133,18 @@ func (u *Unsteady) Cycle() CycleStats {
 	if u.IS != nil {
 		cs.PCGConverged = true
 		for it := 0; it < n; it++ {
+			c.PushPhase(event.PhaseSolve)
 			r := u.IS.Step()
+			c.PopPhase()
 			cs.SolverWork += r.Work
 			cs.PCGIters += r.Iterations
 			cs.PCGConverged = cs.PCGConverged && r.Converged
 		}
 	} else {
 		for it := 0; it < n; it++ {
+			c.PushPhase(event.PhaseSolve)
 			cs.SolverWork += u.PS.Step(u.DT)
+			c.PopPhase()
 		}
 	}
 	cs.SolverTime = timer.Lap()
@@ -157,6 +169,16 @@ func (u *Unsteady) Cycle() CycleStats {
 			u.prof = p
 		}
 		cs.Profile = p
+		// Blame the epoch's waits while the window is cut: the critical
+		// path over the same records, attributed culprit by culprit.  The
+		// span log (when this run streams spans) closes its epoch against
+		// the same path, so span sampling can never drop an on-path span.
+		sub := &event.Trace{P: c.Size(), Records: tr.Records[cycleStart:len(tr.Records):len(tr.Records)]}
+		cp := event.CriticalPath(sub)
+		cs.Blame = event.WaitBlame(sub, &cp)
+		if sl := c.Spans(); sl != nil {
+			sl.CutEpoch(&cp, cs.Blame)
+		}
 	}
 	maxW := c.AllreduceInt64(int64(cs.SolverWork), msg.MaxInt64)
 	sumW := c.AllreduceInt64(int64(cs.SolverWork), msg.SumInt64)

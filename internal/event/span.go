@@ -1,0 +1,554 @@
+package event
+
+// Causal span layer: each rank's timeline, segmented into typed, nested
+// phase spans (solver iteration, halo exchange, collective, SPAI setup,
+// refine/coarsen, repartition, migrate).  Spans are pure observation —
+// opening or closing one never touches a simulated clock — and the span
+// stream is written through a bounded-memory streaming sink: per-rank
+// ring buffers spill the oldest completed spans to the sink as
+// serialized bytes, epoch cuts flush the rest in canonical rank-major
+// order, and optional sampling thins off-path spans while never
+// dropping a span that overlaps the epoch's critical path.  Because
+// every mutation happens while the owning rank holds the engine's
+// execution token, the stream is deterministic: byte-equal across
+// repeat runs and across GOMAXPROCS, and byte-equal with the ring
+// bound on or off (sampling disabled) — eviction only changes *when*
+// a span's bytes are serialized, never their order or content.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Phase classifies a span: which algorithmic phase of the PLUM cycle
+// (or of the solver underneath it) the enclosed operations belong to.
+type Phase uint8
+
+// The phases of the adaption/solve cycle that get spans.  The zero
+// value PhaseNone marks records outside any pushed phase.
+const (
+	PhaseNone Phase = iota
+	PhaseSolve
+	PhaseHalo
+	PhaseCollective
+	PhaseSPAI
+	PhaseMark
+	PhaseCoarsen
+	PhaseRefine
+	PhaseRepartition
+	PhaseReassign
+	PhaseMigrate
+	NumPhases
+)
+
+var phaseNames = [NumPhases]string{
+	"none", "solve", "halo", "collective", "spai", "mark",
+	"coarsen", "refine", "repartition", "reassign", "migrate",
+}
+
+func (p Phase) String() string {
+	if p < NumPhases {
+		return phaseNames[p]
+	}
+	return fmt.Sprintf("phase(%d)", uint8(p))
+}
+
+// PhaseFromString is the inverse of Phase.String; unknown names map to
+// PhaseNone (span files are forward-tolerant).
+func PhaseFromString(s string) Phase {
+	for i, n := range phaseNames {
+		if n == s {
+			return Phase(i)
+		}
+	}
+	return PhaseNone
+}
+
+// Span is one completed phase interval of one rank.
+type Span struct {
+	Rank  int
+	Phase Phase
+	Depth int // nesting depth: 0 = outermost
+	Epoch int // adaption epoch the span was flushed in
+	T0    float64
+	T1    float64
+	// OnPath marks spans that overlap their rank's critical-path steps
+	// of the epoch they were cut in.  It exists for sampling retention
+	// (critical-path spans are never sampled out) and in-memory
+	// consumers; it is deliberately not serialized, so the stream's
+	// bytes do not depend on whether a span was ring-evicted before the
+	// cut computed the path.
+	OnPath bool
+}
+
+// SpanOptions configures a SpanLog.
+type SpanOptions struct {
+	// Sink receives the serialized span stream (JSONL).  Nil keeps all
+	// spans resident for All(); RingCap is then ignored (eviction needs
+	// somewhere to spill).
+	Sink io.Writer
+	// RingCap bounds the completed spans held resident per rank; 0
+	// means unbounded.  When the ring is full the oldest span is
+	// serialized into the rank's pending spill buffer immediately.
+	RingCap int
+	// SampleEvery keeps 1 in SampleEvery off-path spans at each epoch
+	// cut (0 or 1 keeps all).  Spans overlapping the epoch's critical
+	// path, and spans already ring-evicted, are always kept.
+	SampleEvery int
+	// Label annotates the stream header (experiment, model, run, P...).
+	Label map[string]string
+}
+
+// spanRing is a fixed-capacity FIFO of completed spans.
+type spanRing struct {
+	buf  []Span
+	head int
+	n    int
+}
+
+func (r *spanRing) at(i int) *Span { return &r.buf[(r.head+i)%len(r.buf)] }
+
+// SpanLog collects one world's spans.  All methods must be called while
+// the acting rank holds the execution token (straight-line rank code),
+// which serializes every mutation in the engine's deterministic order.
+type SpanLog struct {
+	P    int
+	opts SpanOptions
+
+	open [][]Span   // per-rank stack of open spans
+	ring []spanRing // per-rank completed spans (RingCap > 0)
+	done [][]Span   // per-rank completed spans (unbounded mode)
+	cut  []int      // per-rank count of done spans already stamped/flushed
+	pend []bytes.Buffer
+
+	epoch        int
+	peakResident int   // max completed+open spans resident on any rank
+	written      int64 // spans serialized to the sink
+	sampledOut   int64
+	evicted      int64
+	sampleCnt    []int64 // per-rank off-path sampling counters
+	closed       bool
+	err          error
+}
+
+// NewSpanLog creates a span log for a P-rank world and writes the
+// stream header.
+func NewSpanLog(p int, opts SpanOptions) *SpanLog {
+	if opts.Sink == nil {
+		opts.RingCap = 0
+	}
+	s := &SpanLog{
+		P:         p,
+		opts:      opts,
+		open:      make([][]Span, p),
+		pend:      make([]bytes.Buffer, p),
+		sampleCnt: make([]int64, p),
+	}
+	if opts.RingCap > 0 {
+		s.ring = make([]spanRing, p)
+		for i := range s.ring {
+			s.ring[i].buf = make([]Span, opts.RingCap)
+		}
+	} else {
+		s.done = make([][]Span, p)
+		s.cut = make([]int, p)
+	}
+	s.writeLine(spanHdr{
+		K: "hdr", Schema: 1, P: p,
+		Ring: opts.RingCap, Sample: opts.SampleEvery, Label: opts.Label,
+	})
+	return s
+}
+
+// Begin opens a span of the given phase on rank at simulated time t.
+func (s *SpanLog) Begin(rank int, ph Phase, t float64) {
+	st := s.open[rank]
+	s.open[rank] = append(st, Span{Rank: rank, Phase: ph, Depth: len(st), T0: t})
+}
+
+// End closes rank's innermost open span at simulated time t and files
+// it as completed.
+func (s *SpanLog) End(rank int, t float64) {
+	st := s.open[rank]
+	if len(st) == 0 {
+		panic("event: SpanLog.End without matching Begin")
+	}
+	sp := st[len(st)-1]
+	s.open[rank] = st[:len(st)-1]
+	sp.T1 = t
+	if s.ring != nil {
+		r := &s.ring[rank]
+		if r.n == len(r.buf) {
+			// Ring full: spill the oldest span's bytes now.  Its position
+			// in the stream is unchanged (pend is flushed before the ring
+			// at each cut), so the bound costs memory order, not byte
+			// determinism.
+			s.spill(rank, r.at(0))
+			r.head = (r.head + 1) % len(r.buf)
+			r.n--
+			s.evicted++
+		}
+		*r.at(r.n) = sp
+		r.n++
+		if res := r.n + len(s.open[rank]); res > s.peakResident {
+			s.peakResident = res
+		}
+	} else {
+		s.done[rank] = append(s.done[rank], sp)
+		if res := len(s.done[rank]) + len(s.open[rank]); res > s.peakResident {
+			s.peakResident = res
+		}
+	}
+}
+
+// spill serializes one span into rank's pending buffer (stamped with
+// the current epoch, exactly as the cut would stamp it).
+func (s *SpanLog) spill(rank int, sp *Span) {
+	s.written++
+	line, err := json.Marshal(spanLine{
+		K: "span", E: s.epoch, R: sp.Rank, Ph: sp.Phase.String(),
+		D: sp.Depth, T0: sp.T0, T1: sp.T1,
+	})
+	if err != nil {
+		s.fail(err)
+		return
+	}
+	s.pend[rank].Write(line)
+	s.pend[rank].WriteByte('\n')
+}
+
+// CutEpoch ends the current epoch: every completed span is stamped
+// with the epoch, marked on-path if it overlaps its rank's
+// critical-path steps, sampled (off-path spans only), and flushed to
+// the sink in canonical rank-major order, followed by the epoch's
+// blame summary.  cp and blame should come from the same trace window;
+// either may be zero/nil (plain flush).
+func (s *SpanLog) CutEpoch(cp *Path, blame *BlameReport) {
+	// Per-rank on-path intervals of this epoch's steps.
+	var onPath [][]Record
+	if cp != nil {
+		onPath = make([][]Record, s.P)
+		for _, st := range cp.Steps {
+			if st.Rank >= 0 && st.Rank < s.P {
+				onPath[st.Rank] = append(onPath[st.Rank], st)
+			}
+		}
+	}
+	for rank := 0; rank < s.P; rank++ {
+		if s.opts.Sink != nil && s.pend[rank].Len() > 0 {
+			if _, err := s.opts.Sink.Write(s.pend[rank].Bytes()); err != nil {
+				s.fail(err)
+			}
+			s.pend[rank].Reset()
+		}
+		flush := func(sp *Span) {
+			sp.Epoch = s.epoch
+			sp.OnPath = overlapsPath(onPath, sp)
+			if !sp.OnPath && s.opts.SampleEvery > 1 {
+				s.sampleCnt[rank]++
+				if s.sampleCnt[rank]%int64(s.opts.SampleEvery) != 0 {
+					s.sampledOut++
+					return
+				}
+			}
+			s.writeSpan(sp)
+		}
+		if s.ring != nil {
+			r := &s.ring[rank]
+			for i := 0; i < r.n; i++ {
+				flush(r.at(i))
+			}
+			r.head, r.n = 0, 0
+		} else {
+			for i := s.cut[rank]; i < len(s.done[rank]); i++ {
+				flush(&s.done[rank][i])
+			}
+			if s.opts.Sink != nil {
+				s.done[rank] = s.done[rank][:0]
+			}
+			s.cut[rank] = len(s.done[rank])
+		}
+	}
+	if blame != nil {
+		eb := blame.Summary(s.epoch, blameTopK)
+		s.writeLine(&eb)
+	}
+	s.epoch++
+}
+
+func overlapsPath(onPath [][]Record, sp *Span) bool {
+	if onPath == nil {
+		return false
+	}
+	for _, st := range onPath[sp.Rank] {
+		if st.T0 < sp.T1 && sp.T0 < st.T1 {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *SpanLog) writeSpan(sp *Span) {
+	s.written++
+	s.writeLine(spanLine{
+		K: "span", E: sp.Epoch, R: sp.Rank, Ph: sp.Phase.String(),
+		D: sp.Depth, T0: sp.T0, T1: sp.T1,
+	})
+}
+
+// Close flushes any spans completed after the last epoch cut and
+// writes the stream trailer.  The trailer deliberately carries only
+// stream-shape fields that are invariant under the ring bound
+// (epochs, spans written, spans sampled out); resident-memory facts
+// (PeakResident, Evicted) stay on the accessors.
+func (s *SpanLog) Close() error {
+	if s.closed {
+		return s.err
+	}
+	s.closed = true
+	s.CutEpoch(nil, nil)
+	s.epoch-- // the final flush is a trailer, not a new epoch
+	s.writeLine(spanEnd{
+		K: "end", Epochs: s.epoch, Spans: s.written, SampledOut: s.sampledOut,
+	})
+	return s.err
+}
+
+// All returns the resident completed spans in canonical rank-major
+// order.  With a nil sink (the in-memory mode plumviz -trace uses)
+// this is every span of the run; with a sink it is only the spans not
+// yet flushed.
+func (s *SpanLog) All() []Span {
+	var out []Span
+	for rank := 0; rank < s.P; rank++ {
+		if s.ring != nil {
+			r := &s.ring[rank]
+			for i := 0; i < r.n; i++ {
+				out = append(out, *r.at(i))
+			}
+		} else {
+			out = append(out, s.done[rank]...)
+		}
+	}
+	return out
+}
+
+// PeakResident returns the maximum number of spans (completed + open)
+// any single rank held resident at once — the quantity RingCap bounds.
+func (s *SpanLog) PeakResident() int { return s.peakResident }
+
+// Written returns the number of spans serialized to the sink.
+func (s *SpanLog) Written() int64 { return s.written }
+
+// SampledOut returns the number of off-path spans dropped by sampling.
+func (s *SpanLog) SampledOut() int64 { return s.sampledOut }
+
+// Evicted returns the number of spans spilled early by the ring bound.
+func (s *SpanLog) Evicted() int64 { return s.evicted }
+
+// Epochs returns the number of epoch cuts so far.
+func (s *SpanLog) Epochs() int { return s.epoch }
+
+// Err returns the first sink write error, if any.
+func (s *SpanLog) Err() error { return s.err }
+
+func (s *SpanLog) fail(err error) {
+	if s.err == nil {
+		s.err = err
+	}
+}
+
+func (s *SpanLog) writeLine(v any) {
+	if s.opts.Sink == nil {
+		return
+	}
+	line, err := json.Marshal(v)
+	if err != nil {
+		s.fail(err)
+		return
+	}
+	if _, err := s.opts.Sink.Write(append(line, '\n')); err != nil {
+		s.fail(err)
+	}
+}
+
+// blameTopK bounds the per-epoch blame summary serialized into span
+// files and ledgers: top-k lag culprits and top-k contended edges,
+// with the remainder folded into LagOther.  Keeps the stream O(1) per
+// epoch at P=4096.
+const blameTopK = 16
+
+// The JSONL span-stream schema.  One stream per world; a file may
+// concatenate several streams (hdr ... end, hdr ... end).
+type spanHdr struct {
+	K      string            `json:"k"`
+	Schema int               `json:"schema"`
+	P      int               `json:"p"`
+	Ring   int               `json:"ring"`
+	Sample int               `json:"sample"`
+	Label  map[string]string `json:"label,omitempty"`
+}
+
+type spanLine struct {
+	K  string  `json:"k"`
+	E  int     `json:"e"`
+	R  int     `json:"r"`
+	Ph string  `json:"ph"`
+	D  int     `json:"d"`
+	T0 float64 `json:"t0"`
+	T1 float64 `json:"t1"`
+}
+
+type spanEnd struct {
+	K          string `json:"k"`
+	Epochs     int    `json:"epochs"`
+	Spans      int64  `json:"spans"`
+	SampledOut int64  `json:"sampled_out"`
+}
+
+// EpochBlame is the per-epoch blame summary as serialized in a span
+// stream (and, trimmed further, in the obs ledger): the by-culprit
+// decomposition of the epoch's critical-path wait time.
+type EpochBlame struct {
+	K              string      `json:"k"` // "blame"
+	Epoch          int         `json:"e"`
+	Wait           float64     `json:"wait"`
+	SenderCompute  float64     `json:"sender_compute"`
+	SenderOverhead float64     `json:"sender_overhead"`
+	Contention     float64     `json:"contention"`
+	Wire           float64     `json:"wire"`
+	Idle           float64     `json:"idle"`
+	Lag            []LagEntry  `json:"lag,omitempty"`
+	LagOther       float64     `json:"lag_other,omitempty"`
+	Edges          []EdgeBlame `json:"edges,omitempty"`
+}
+
+// SpanWorld is one parsed world stream of a span file.
+type SpanWorld struct {
+	P          int
+	Ring       int
+	Sample     int
+	Label      map[string]string
+	Spans      []Span
+	Blame      []EpochBlame
+	Epochs     int
+	Written    int64
+	SampledOut int64
+	// Complete reports whether the stream's end trailer was present —
+	// false means the producing run was killed mid-stream (or is still
+	// running) and the counts above reflect only what was parsed.
+	Complete bool
+}
+
+// ReadSpans parses a span file: a concatenation of one or more world
+// streams.  It is deliberately tolerant of truncation — a stream cut
+// off mid-line or before its end trailer parses as Complete=false with
+// everything up to the cut intact — because live /spans scrapes read
+// the file while plumbench is still appending to it.  Structural
+// errors (a span line outside any stream, an unknown schema) fail.
+func ReadSpans(r io.Reader) ([]SpanWorld, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	var worlds []SpanWorld
+	var cur *SpanWorld
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		var probe struct {
+			K string `json:"k"`
+		}
+		if err := json.Unmarshal(raw, &probe); err != nil {
+			// A torn tail line is truncation, not corruption — but only
+			// if nothing follows it.
+			if tail := scannerHasMore(sc); tail {
+				return nil, fmt.Errorf("event: span file line %d: %v", line, err)
+			}
+			return worlds, nil
+		}
+		switch probe.K {
+		case "hdr":
+			var h spanHdr
+			if err := json.Unmarshal(raw, &h); err != nil {
+				return nil, fmt.Errorf("event: span file line %d: %v", line, err)
+			}
+			if h.Schema != 1 {
+				return nil, fmt.Errorf("event: span file line %d: unsupported schema %d", line, h.Schema)
+			}
+			worlds = append(worlds, SpanWorld{
+				P: h.P, Ring: h.Ring, Sample: h.Sample, Label: h.Label,
+			})
+			cur = &worlds[len(worlds)-1]
+		case "span":
+			if cur == nil {
+				return nil, fmt.Errorf("event: span file line %d: span before header", line)
+			}
+			var sl spanLine
+			if err := json.Unmarshal(raw, &sl); err != nil {
+				return nil, fmt.Errorf("event: span file line %d: %v", line, err)
+			}
+			cur.Spans = append(cur.Spans, Span{
+				Rank: sl.R, Phase: PhaseFromString(sl.Ph), Depth: sl.D,
+				Epoch: sl.E, T0: sl.T0, T1: sl.T1,
+			})
+		case "blame":
+			if cur == nil {
+				return nil, fmt.Errorf("event: span file line %d: blame before header", line)
+			}
+			var eb EpochBlame
+			if err := json.Unmarshal(raw, &eb); err != nil {
+				return nil, fmt.Errorf("event: span file line %d: %v", line, err)
+			}
+			cur.Blame = append(cur.Blame, eb)
+		case "end":
+			if cur == nil {
+				return nil, fmt.Errorf("event: span file line %d: end before header", line)
+			}
+			var e spanEnd
+			if err := json.Unmarshal(raw, &e); err != nil {
+				return nil, fmt.Errorf("event: span file line %d: %v", line, err)
+			}
+			cur.Epochs, cur.Written, cur.SampledOut = e.Epochs, e.Spans, e.SampledOut
+			cur.Complete = true
+			cur = nil
+		default:
+			return nil, fmt.Errorf("event: span file line %d: unknown kind %q", line, probe.K)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(worlds) == 0 {
+		return nil, errors.New("event: span file has no streams")
+	}
+	return worlds, nil
+}
+
+// scannerHasMore reports whether the scanner yields another non-blank
+// line (consuming it).
+func scannerHasMore(sc *bufio.Scanner) bool {
+	for sc.Scan() {
+		if len(bytes.TrimSpace(sc.Bytes())) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// ReadSpansFile reads a span file from disk.
+func ReadSpansFile(path string) ([]SpanWorld, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadSpans(f)
+}

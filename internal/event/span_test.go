@@ -1,0 +1,263 @@
+package event
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestSpanLogNesting: Begin/End maintain a per-rank stack; completed
+// spans carry their nesting depth and flush rank-major.
+func TestSpanLogNesting(t *testing.T) {
+	s := NewSpanLog(2, SpanOptions{})
+	s.Begin(0, PhaseRefine, 0)
+	s.Begin(0, PhaseHalo, 1)
+	s.End(0, 2) // halo, depth 1
+	s.End(0, 3) // refine, depth 0
+	s.Begin(1, PhaseSolve, 0)
+	s.End(1, 5)
+	all := s.All()
+	if len(all) != 3 {
+		t.Fatalf("got %d spans, want 3", len(all))
+	}
+	want := []Span{
+		{Rank: 0, Phase: PhaseHalo, Depth: 1, T0: 1, T1: 2},
+		{Rank: 0, Phase: PhaseRefine, Depth: 0, T0: 0, T1: 3},
+		{Rank: 1, Phase: PhaseSolve, Depth: 0, T0: 0, T1: 5},
+	}
+	for i, w := range want {
+		if all[i] != w {
+			t.Errorf("span %d = %+v, want %+v", i, all[i], w)
+		}
+	}
+}
+
+func TestSpanEndWithoutBeginPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("End without Begin did not panic")
+		}
+	}()
+	NewSpanLog(1, SpanOptions{}).End(0, 1)
+}
+
+// driveSpans runs a fixed multi-epoch span workload against a log.
+func driveSpans(s *SpanLog) {
+	t := 0.0
+	for epoch := 0; epoch < 3; epoch++ {
+		for rank := 0; rank < s.P; rank++ {
+			for i := 0; i < 10; i++ {
+				s.Begin(rank, PhaseSolve, t)
+				s.Begin(rank, PhaseHalo, t+0.1)
+				s.End(rank, t+0.4)
+				s.End(rank, t+1)
+				t++
+			}
+		}
+		s.CutEpoch(nil, nil)
+	}
+}
+
+// TestSpanRingByteIdentity: the stream's bytes are identical with the
+// ring bound on or off — eviction changes when bytes are serialized,
+// never their order or content — and the bound holds.
+func TestSpanRingByteIdentity(t *testing.T) {
+	var unbounded, bounded bytes.Buffer
+	u := NewSpanLog(2, SpanOptions{Sink: &unbounded})
+	driveSpans(u)
+	if err := u.Close(); err != nil {
+		t.Fatal(err)
+	}
+	const ringCap = 4
+	b := NewSpanLog(2, SpanOptions{Sink: &bounded, RingCap: ringCap})
+	driveSpans(b)
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The header line records the ring setting, so identity is over the
+	// span/blame/end lines — everything after the first newline.
+	tail := func(buf *bytes.Buffer) string {
+		s := buf.String()
+		return s[strings.IndexByte(s, '\n')+1:]
+	}
+	if tail(&unbounded) != tail(&bounded) {
+		t.Errorf("stream bytes differ between unbounded and ring-bounded sinks:\n--- unbounded\n%s--- ring\n%s",
+			tail(&unbounded), tail(&bounded))
+	}
+	if b.Evicted() == 0 {
+		t.Error("ring log evicted nothing; the test never exercised the bound")
+	}
+	// +1: one span can be open while ringCap completed spans are resident.
+	if b.PeakResident() > ringCap+2 {
+		t.Errorf("PeakResident = %d, want <= %d", b.PeakResident(), ringCap+2)
+	}
+	if u.PeakResident() <= ringCap+2 {
+		t.Errorf("unbounded PeakResident = %d; workload too small to prove the bound matters",
+			u.PeakResident())
+	}
+	if u.Written() != b.Written() || u.Epochs() != b.Epochs() {
+		t.Errorf("written/epochs differ: %d/%d vs %d/%d",
+			u.Written(), u.Epochs(), b.Written(), b.Epochs())
+	}
+}
+
+// TestSpanSamplingKeepsOnPath: sampling thins off-path spans but may
+// never drop a span overlapping the epoch's critical path, and spans
+// already ring-evicted are always written.
+func TestSpanSamplingKeepsOnPath(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewSpanLog(1, SpanOptions{Sink: &buf, SampleEvery: 1000})
+	for i := 0; i < 20; i++ {
+		s.Begin(0, PhaseSolve, float64(i))
+		s.End(0, float64(i)+0.5)
+	}
+	// Critical path overlaps spans 5 and 6 only.
+	cp := &Path{Steps: []Record{{Rank: 0, T0: 5.2, T1: 6.3}}}
+	s.CutEpoch(cp, nil)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	worlds, err := ReadSpans(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(worlds) != 1 {
+		t.Fatalf("got %d worlds, want 1", len(worlds))
+	}
+	kept := worlds[0].Spans
+	has := func(t0 float64) bool {
+		for _, sp := range kept {
+			if sp.T0 == t0 {
+				return true
+			}
+		}
+		return false
+	}
+	if !has(5) || !has(6) {
+		t.Errorf("critical-path spans sampled out; kept %+v", kept)
+	}
+	if s.SampledOut() != 18 {
+		t.Errorf("SampledOut = %d, want 18 (every off-path span at 1-in-1000)", s.SampledOut())
+	}
+}
+
+// TestReadSpansRoundTrip: a multi-epoch stream with blame lines parses
+// back with every field intact.
+func TestReadSpansRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewSpanLog(2, SpanOptions{
+		Sink:  &buf,
+		Label: map[string]string{"exp": "test", "p": "2"},
+	})
+	s.Begin(0, PhaseRepartition, 1)
+	s.End(0, 2)
+	s.Begin(1, PhaseMigrate, 1.5)
+	s.End(1, 3)
+	blame := &BlameReport{P: 2, Wait: 1.25}
+	blame.ByKind[BlameContention] = 1.25
+	blame.Lag = make([][]float64, 2)
+	for i := range blame.Lag {
+		blame.Lag[i] = make([]float64, NumPhases)
+	}
+	s.CutEpoch(nil, blame)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	worlds, err := ReadSpans(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(worlds) != 1 {
+		t.Fatalf("got %d worlds, want 1", len(worlds))
+	}
+	w := worlds[0]
+	if w.P != 2 || w.Label["exp"] != "test" || !w.Complete {
+		t.Errorf("world header = %+v", w)
+	}
+	if len(w.Spans) != 2 || w.Spans[0].Phase != PhaseRepartition || w.Spans[1].Phase != PhaseMigrate {
+		t.Errorf("spans = %+v", w.Spans)
+	}
+	if len(w.Blame) != 1 || w.Blame[0].Contention != 1.25 || w.Blame[0].Wait != 1.25 {
+		t.Errorf("blame = %+v", w.Blame)
+	}
+	if w.Epochs != 1 || w.Written != 2 {
+		t.Errorf("trailer: epochs=%d written=%d", w.Epochs, w.Written)
+	}
+}
+
+// TestReadSpansTruncation: a stream cut off mid-line or before its end
+// trailer parses as Complete=false with everything before the cut
+// intact; corruption in the middle still fails.
+func TestReadSpansTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewSpanLog(1, SpanOptions{Sink: &buf})
+	s.Begin(0, PhaseSolve, 0)
+	s.End(0, 1)
+	s.Begin(0, PhaseSolve, 2)
+	s.End(0, 3)
+	s.CutEpoch(nil, nil)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+
+	// Drop the end trailer.
+	lines := bytes.Split(bytes.TrimSuffix(full, []byte("\n")), []byte("\n"))
+	noEnd := append(bytes.Join(lines[:len(lines)-1], []byte("\n")), '\n')
+	worlds, err := ReadSpans(bytes.NewReader(noEnd))
+	if err != nil {
+		t.Fatalf("missing end trailer should parse leniently: %v", err)
+	}
+	if worlds[0].Complete || len(worlds[0].Spans) != 2 {
+		t.Errorf("truncated stream: complete=%v spans=%d", worlds[0].Complete, len(worlds[0].Spans))
+	}
+
+	// Tear the final line in half.
+	torn := full[:len(full)-8]
+	worlds, err = ReadSpans(bytes.NewReader(torn))
+	if err != nil {
+		t.Fatalf("torn final line should parse leniently: %v", err)
+	}
+	if worlds[0].Complete {
+		t.Error("torn stream parsed as complete")
+	}
+
+	// Corrupt a line in the middle: that is damage, not truncation.
+	corrupt := append([]byte{}, lines[0]...)
+	corrupt = append(corrupt, "\n{broken\n"...)
+	corrupt = append(corrupt, bytes.Join(lines[1:], []byte("\n"))...)
+	corrupt = append(corrupt, '\n')
+	if _, err := ReadSpans(bytes.NewReader(corrupt)); err == nil {
+		t.Error("mid-file corruption parsed without error")
+	}
+
+	// An empty file is an error, not an empty result.
+	if _, err := ReadSpans(bytes.NewReader(nil)); err == nil {
+		t.Error("empty file parsed without error")
+	}
+}
+
+// TestSpanMultiStream: a file concatenating two world streams (what a
+// multi-world plumbench run writes) parses as two worlds.
+func TestSpanMultiStream(t *testing.T) {
+	var buf bytes.Buffer
+	for i := 0; i < 2; i++ {
+		s := NewSpanLog(1, SpanOptions{Sink: &buf})
+		s.Begin(0, PhaseCollective, 0)
+		s.End(0, 1)
+		s.CutEpoch(nil, nil)
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	worlds, err := ReadSpans(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(worlds) != 2 || !worlds[0].Complete || !worlds[1].Complete {
+		t.Fatalf("got %d worlds (complete: %v, %v), want 2 complete",
+			len(worlds), worlds[0].Complete, worlds[len(worlds)-1].Complete)
+	}
+}

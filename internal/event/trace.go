@@ -55,6 +55,15 @@ type Record struct {
 	// any contention queueing).  Arrival > T0 means the rank idled
 	// waiting on the wire.
 	Arrival float64
+	// Depart is, for a send, the simulated time the message actually
+	// entered the wire: T1 plus any contention queueing on shared links
+	// (Depart == T1 on uncontended paths).  Arrival - Depart is pure
+	// wire latency, Depart - T1 the queue delay — the exact split the
+	// wait-blame pass charges to contention vs wire.
+	Depart float64
+	// Phase is the innermost phase span open on the rank when the
+	// operation ran (PhaseNone outside any span).
+	Phase Phase
 }
 
 // Trace is the event log of one simulated run.
@@ -114,11 +123,29 @@ const usec = 1e6
 // ("s"/"f") arrows from each send to the recv that consumed its message.
 // Load the file in chrome://tracing or https://ui.perfetto.dev.
 func (t *Trace) WriteChrome(w io.Writer) error {
+	return t.WriteChromeSpans(w, nil)
+}
+
+// WriteChromeSpans is WriteChrome with the run's phase spans layered
+// onto the same per-rank timelines: each span becomes an enclosing
+// "X" slice (spans strictly contain the records and each other by the
+// push/pop stack discipline, so the viewer nests them), so the export
+// shows both *what* each rank did and *which phase* it was doing it
+// for, with the message flow arrows as the causality edges between.
+func (t *Trace) WriteChromeSpans(w io.Writer, spans []Span) error {
 	var events []chromeEvent
 	for rank := 0; rank < t.P; rank++ {
 		events = append(events, chromeEvent{
 			Name: "thread_name", Ph: "M", Pid: 0, Tid: rank,
 			Args: map[string]any{"name": fmt.Sprintf("rank %d", rank)},
+		})
+	}
+	for _, s := range spans {
+		dur := (s.T1 - s.T0) * usec
+		events = append(events, chromeEvent{
+			Name: s.Phase.String(), Ph: "X", Ts: s.T0 * usec, Dur: &dur,
+			Pid: 0, Tid: s.Rank,
+			Args: map[string]any{"depth": s.Depth, "epoch": s.Epoch},
 		})
 	}
 	recvOf := make(map[int64]bool)
@@ -130,10 +157,16 @@ func (t *Trace) WriteChrome(w io.Writer) error {
 	for _, r := range t.Records {
 		name := r.Kind.String()
 		args := map[string]any{}
+		if r.Phase != PhaseNone {
+			args["phase"] = r.Phase.String()
+		}
 		switch r.Kind {
 		case KindSend:
 			name = fmt.Sprintf("send→%d", r.Peer)
 			args["bytes"], args["tag"] = r.Bytes, r.Tag
+			if r.Depart > r.T1 {
+				args["queue_us"] = (r.Depart - r.T1) * usec
+			}
 		case KindRecv:
 			name = fmt.Sprintf("recv←%d", r.Peer)
 			args["bytes"], args["tag"] = r.Bytes, r.Tag
@@ -169,11 +202,16 @@ func (t *Trace) WriteChrome(w io.Writer) error {
 // like success).  The single implementation both exporter commands
 // (plumbench -trace, plumviz -trace) share.
 func (t *Trace) WriteChromeFile(path string) error {
+	return t.WriteChromeFileSpans(path, nil)
+}
+
+// WriteChromeFileSpans writes the span-layered export to path.
+func (t *Trace) WriteChromeFileSpans(path string, spans []Span) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	err = t.WriteChrome(f)
+	err = t.WriteChromeSpans(f, spans)
 	if cerr := f.Close(); err == nil {
 		err = cerr
 	}

@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 
+	"plum/internal/event"
 	"plum/internal/msg"
 	"plum/internal/pmesh"
 )
@@ -300,6 +301,8 @@ func (s *DistSystem) buildHalo() {
 // slice are reused across calls — one halo exchange runs per operator
 // application per PCG iteration, so this path must not allocate.
 func (s *DistSystem) postHalo() []*msg.Request {
+	s.C.PushPhase(event.PhaseHalo)
+	defer s.C.PopPhase()
 	for _, r := range s.haloRanks {
 		list := s.sendRows[r]
 		if cap(s.sendScratch) < len(list) {
@@ -326,6 +329,8 @@ func (s *DistSystem) postHalo() []*msg.Request {
 // Ghost values decode straight out of the message payload, which then
 // returns to the world's pool.
 func (s *DistSystem) finishHalo(reqs []*msg.Request) {
+	s.C.PushPhase(event.PhaseHalo)
+	defer s.C.PopPhase()
 	n := s.A.NRows
 	for i, r := range s.haloRanks {
 		m := reqs[i].Wait()
@@ -420,6 +425,8 @@ func (s *DistSystem) colGIDs() []uint64 {
 }
 
 func (s *DistSystem) newSPAI() Preconditioner {
+	s.C.PushPhase(event.PhaseSPAI)
+	defer s.C.PopPhase()
 	colGID := s.colGIDs()
 
 	type row struct {

@@ -3,6 +3,8 @@ package msg
 import (
 	"encoding/binary"
 	"math"
+
+	"plum/internal/event"
 )
 
 // Collective operations.  Every rank in the world must call each
@@ -26,6 +28,8 @@ func (c *Comm) nextCollTag() int {
 // Barrier blocks until every rank has entered it.  Implemented as a
 // reduce-to-zero followed by a broadcast.
 func (c *Comm) Barrier() {
+	c.PushPhase(event.PhaseCollective)
+	defer c.PopPhase()
 	tag := c.nextCollTag()
 	if c.rank == 0 {
 		for src := 1; src < c.Size(); src++ {
@@ -71,6 +75,8 @@ func (c *Comm) bcastTree(root, tag int, recv func(parent int), send func(child i
 // Bcast broadcasts data from root to all ranks using a binomial tree and
 // returns the received (or original, on root) payload.
 func (c *Comm) Bcast(root int, data []byte) []byte {
+	c.PushPhase(event.PhaseCollective)
+	defer c.PopPhase()
 	tag := c.nextCollTag()
 	c.bcastTree(root, tag,
 		func(parent int) {
@@ -87,6 +93,8 @@ func (c *Comm) Bcast(root int, data []byte) []byte {
 // Gather collects each rank's payload at root.  On root the returned slice
 // has Size() entries indexed by rank; on other ranks it is nil.
 func (c *Comm) Gather(root int, data []byte) [][]byte {
+	c.PushPhase(event.PhaseCollective)
+	defer c.PopPhase()
 	tag := c.nextCollTag()
 	if c.rank != root {
 		c.Send(root, tag, data)
@@ -108,6 +116,8 @@ func (c *Comm) Gather(root int, data []byte) [][]byte {
 // Scatter distributes parts[i] from root to rank i and returns this rank's
 // part.  parts is only examined on root.
 func (c *Comm) Scatter(root int, parts [][]byte) []byte {
+	c.PushPhase(event.PhaseCollective)
+	defer c.PopPhase()
 	tag := c.nextCollTag()
 	if c.rank == root {
 		for dst := 0; dst < c.Size(); dst++ {
@@ -205,6 +215,8 @@ func (c *Comm) ReduceInt64(root int, val int64, op func(a, b int64) int64) int64
 // unchanged while the hot reduction loops of the drivers stay off the
 // allocator.
 func (c *Comm) allreduceWord(w uint64, op func(acc, v uint64) uint64) uint64 {
+	c.PushPhase(event.PhaseCollective)
+	defer c.PopPhase()
 	tag := c.nextCollTag()
 	if c.rank == 0 {
 		for src := 1; src < c.Size(); src++ {
@@ -238,6 +250,8 @@ func (c *Comm) AllreduceFloat64(val float64, op func(a, b float64) float64) floa
 // bcastWord broadcasts one 64-bit word from root with the exact message
 // pattern of Bcast on an 8-byte payload (same tree via bcastTree).
 func (c *Comm) bcastWord(root int, w uint64) uint64 {
+	c.PushPhase(event.PhaseCollective)
+	defer c.PopPhase()
 	tag := c.nextCollTag()
 	c.bcastTree(root, tag,
 		func(parent int) {
@@ -280,6 +294,8 @@ func SumFloat64(a, b float64) float64 { return a + b }
 // log P messages, unlike a flat gather), then broadcasts the result.
 // Every rank receives the summed vector.
 func (c *Comm) ReduceIntsSum(vals []int64) []int64 {
+	c.PushPhase(event.PhaseCollective)
+	defer c.PopPhase()
 	tag := c.nextCollTag()
 	size := c.Size()
 	acc := append([]int64(nil), vals...)
@@ -303,6 +319,8 @@ func (c *Comm) ReduceIntsSum(vals []int64) []int64 {
 // Alltoall exchanges parts[i] from this rank to rank i; the result holds
 // the payload received from each rank (result[i] came from rank i).
 func (c *Comm) Alltoall(parts [][]byte) [][]byte {
+	c.PushPhase(event.PhaseCollective)
+	defer c.PopPhase()
 	tag := c.nextCollTag()
 	size := c.Size()
 	if len(parts) != size {

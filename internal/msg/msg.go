@@ -116,11 +116,12 @@ const numSizeClasses = 48
 type World struct {
 	size    int
 	boxes   []mailbox
-	model   *CostModel    // nil means no simulated timing
-	eng     *event.Engine // the execution substrate
-	trace   *event.Trace  // nil unless the run is traced
-	msgSeq  int64         // message ids for trace edges
-	waiting []waitState   // per-rank blocked-receive state
+	model   *CostModel     // nil means no simulated timing
+	eng     *event.Engine  // the execution substrate
+	trace   *event.Trace   // nil unless the run is traced
+	spans   *event.SpanLog // nil unless the run records phase spans
+	msgSeq  int64          // message ids for trace edges
+	waiting []waitState    // per-rank blocked-receive state
 
 	// Runtime free lists.  All pool operations happen while the caller
 	// holds the execution token, so — like the mailboxes — they need no
@@ -240,6 +241,12 @@ type Comm struct {
 	world   *World
 	clock   Clock
 	collSeq int // collective sequence number, advances in lockstep
+
+	// phases is the rank's open-phase stack; curPhase caches its top so
+	// the record-stamping hot paths read one field.  Maintained on every
+	// run (a few appends per cycle), consumed by traced ones.
+	phases   []event.Phase
+	curPhase event.Phase
 }
 
 // Rank returns this processor's rank in [0, Size).
@@ -264,6 +271,41 @@ func (c *Comm) Elapsed() float64 { return c.clock.Now }
 // deterministic, which is what lets the measured-cost feedback loop cut
 // bitwise-reproducible profile windows out of a live trace.
 func (c *Comm) Trace() *event.Trace { return c.world.trace }
+
+// Spans returns the world's span log, or nil when the run does not
+// record phase spans (everything but RunTracedSpans).  Like Trace, it
+// is safe to use only from straight-line rank code.
+func (c *Comm) Spans() *event.SpanLog { return c.world.spans }
+
+// PushPhase opens a phase on this rank: subsequent trace records are
+// stamped with it, and when the run records spans a span opens at the
+// rank's current simulated time.  Phases nest; every PushPhase must be
+// matched by a PopPhase on the same rank.  Pure observation — the
+// simulated clock never moves.
+func (c *Comm) PushPhase(ph event.Phase) {
+	c.phases = append(c.phases, ph)
+	c.curPhase = ph
+	if sl := c.world.spans; sl != nil {
+		sl.Begin(c.rank, ph, c.clock.Now)
+	}
+}
+
+// PopPhase closes the innermost open phase on this rank.
+func (c *Comm) PopPhase() {
+	n := len(c.phases) - 1
+	if n < 0 {
+		panic("msg: PopPhase without matching PushPhase")
+	}
+	c.phases = c.phases[:n]
+	if n > 0 {
+		c.curPhase = c.phases[n-1]
+	} else {
+		c.curPhase = event.PhaseNone
+	}
+	if sl := c.world.spans; sl != nil {
+		sl.End(c.rank, c.clock.Now)
+	}
+}
 
 // Release returns a received message — struct and payload buffer — to
 // the world's free pool, where the next Send will recycle them.  The
@@ -303,7 +345,7 @@ func (c *Comm) traceLocal(t0 float64) {
 	if tr := c.world.trace; tr != nil && c.clock.Now != t0 {
 		tr.Add(event.Record{
 			Rank: c.rank, Kind: event.KindCompute,
-			T0: t0, T1: c.clock.Now, Peer: -1,
+			T0: t0, T1: c.clock.Now, Peer: -1, Phase: c.curPhase,
 		})
 	}
 }
@@ -327,6 +369,7 @@ func (c *Comm) deliver(dst, tag int, m *Message) {
 	m.Src, m.Tag = c.rank, tag
 	w := c.world
 	t0 := c.clock.Now
+	depart := c.clock.Now
 	if mod := w.model; mod != nil {
 		// Sender pays the per-message setup plus per-byte injection cost;
 		// the message arrives after the wire latency.  With a topology
@@ -338,7 +381,7 @@ func (c *Comm) deliver(dst, tag int, m *Message) {
 			setup, perByte, latency = lp.Setup, lp.PerByte, lp.Latency
 		}
 		c.clock.Now += setup + float64(len(m.Data))*perByte
-		depart := c.clock.Now
+		depart = c.clock.Now
 		if mod.Topo != nil {
 			if mod.Topo.Contended(c.rank, dst) {
 				// Deterministic reservation pass: yield until this send is
@@ -360,6 +403,7 @@ func (c *Comm) deliver(dst, tag int, m *Message) {
 		tr.Add(event.Record{
 			Rank: c.rank, Kind: event.KindSend, T0: t0, T1: c.clock.Now,
 			Peer: dst, Tag: tag, Bytes: len(m.Data), MsgID: m.id,
+			Depart: depart, Phase: c.curPhase,
 		})
 	}
 	if IsCollectiveTag(tag) {
@@ -424,7 +468,7 @@ func (c *Comm) Recv(src, tag int) *Message {
 		tr.Add(event.Record{
 			Rank: c.rank, Kind: event.KindRecv, T0: t0, T1: c.clock.Now,
 			Peer: m.Src, Tag: m.Tag, Bytes: len(m.Data), MsgID: m.id,
-			Arrival: m.arrival,
+			Arrival: m.arrival, Phase: c.curPhase,
 		})
 	}
 	return m
@@ -440,7 +484,7 @@ func Run(p int, fn func(*Comm)) {
 // the final simulated clock value of each rank.  A nil model disables
 // timing (all clocks remain zero).
 func RunModel(p int, model *CostModel, fn func(*Comm)) []float64 {
-	times, _ := runWorld(p, model, false, fn)
+	times, _, _ := runWorld(p, model, false, nil, fn)
 	return times
 }
 
@@ -450,10 +494,22 @@ func RunModel(p int, model *CostModel, fn func(*Comm)) []float64 {
 // critical-path extraction (event.CriticalPath) and Chrome-tracing export
 // (Trace.WriteChrome).
 func RunTraced(p int, model *CostModel, fn func(*Comm)) ([]float64, *event.Trace) {
-	return runWorld(p, model, true, fn)
+	times, tr, _ := runWorld(p, model, true, nil, fn)
+	return times, tr
 }
 
-func runWorld(p int, model *CostModel, traced bool, fn func(*Comm)) ([]float64, *event.Trace) {
+// RunTracedSpans is RunTraced with the causal span layer enabled: the
+// world carries an event.SpanLog configured by opts, Comm.PushPhase /
+// PopPhase record into it, and the log is closed (final flush + stream
+// trailer) when the run completes.  Span recording is observation-only
+// — simulated clocks, traces, and results are bitwise identical with
+// spans on or off — and the stream is deterministic because every span
+// mutation happens under the engine's execution token.
+func RunTracedSpans(p int, model *CostModel, opts event.SpanOptions, fn func(*Comm)) ([]float64, *event.Trace, *event.SpanLog) {
+	return runWorld(p, model, true, &opts, fn)
+}
+
+func runWorld(p int, model *CostModel, traced bool, spanOpts *event.SpanOptions, fn func(*Comm)) ([]float64, *event.Trace, *event.SpanLog) {
 	if p <= 0 {
 		panic("msg: world size must be positive")
 	}
@@ -469,6 +525,9 @@ func runWorld(p int, model *CostModel, traced bool, fn func(*Comm)) ([]float64, 
 	if traced {
 		w.trace = &event.Trace{P: p}
 		w.trace.Grow(64 * p)
+	}
+	if spanOpts != nil {
+		w.spans = event.NewSpanLog(p, *spanOpts)
 	}
 	comms := make([]*Comm, p)
 	for i := range comms {
@@ -500,9 +559,14 @@ func runWorld(p int, model *CostModel, traced bool, fn func(*Comm)) ([]float64, 
 	if len(deadlocked) > 0 {
 		panic(fmt.Sprintf("msg: deadlock: ranks %v blocked in Recv with no matching send in flight", deadlocked))
 	}
+	if w.spans != nil {
+		if err := w.spans.Close(); err != nil {
+			panic(fmt.Sprintf("msg: span sink: %v", err))
+		}
+	}
 	times := make([]float64, p)
 	for i, cm := range comms {
 		times[i] = cm.clock.Now
 	}
-	return times, w.trace
+	return times, w.trace, w.spans
 }

@@ -91,6 +91,40 @@ type EpochRecord struct {
 
 	// Ranks is the per-rank decomposition (len P); empty on untraced runs.
 	Ranks []RankShare `json:"ranks,omitempty"`
+
+	// Blame is the wait-blame summary of the epoch's critical path
+	// (event.WaitBlame, flattened); nil on untraced runs.  Additive and
+	// optional, so schema 1 readers are unaffected.
+	Blame *BlameRecord `json:"blame,omitempty"`
+}
+
+// BlameRecord attributes an epoch's critical-path wait time by culprit:
+// whose compute the path waited on, how much of the wait was queueing
+// on contended links vs irreducible wire latency, and the heaviest
+// culprit and edges.  Seconds are simulated.
+type BlameRecord struct {
+	Wait           float64 `json:"wait"` // total attributed wait (receiver perspective)
+	SenderCompute  float64 `json:"sender_compute"`
+	SenderOverhead float64 `json:"sender_overhead"`
+	Contention     float64 `json:"contention"`
+	Wire           float64 `json:"wire"`
+	Idle           float64 `json:"idle"`
+
+	// TopRank/TopPhase name the largest sender-lag cell of the epoch's
+	// league table; TopRank is -1 when no sender lag was attributed.
+	TopRank  int     `json:"top_rank"`
+	TopPhase string  `json:"top_phase,omitempty"`
+	TopLag   float64 `json:"top_lag,omitempty"`
+
+	// TopEdges are the most-delaying causality edges (bounded).
+	TopEdges []BlameEdge `json:"top_edges,omitempty"`
+}
+
+// BlameEdge is one directed rank pair's share of the blamed delay.
+type BlameEdge struct {
+	Src     int     `json:"src"`
+	Dst     int     `json:"dst"`
+	Seconds float64 `json:"s"` // queue + wire seconds charged to the edge
 }
 
 // MetricsRecord embeds a host-plane registry snapshot in the ledger.
@@ -201,6 +235,21 @@ type LedgerFile struct {
 // schema violation is an error — the CI smoke job validates ledgers by
 // reading them.
 func ReadLedger(r io.Reader) (*LedgerFile, error) {
+	lf, _, err := readLedger(r, false)
+	return lf, err
+}
+
+// ReadLedgerLenient is ReadLedger for ledgers whose producing run may
+// have been killed mid-stream: a missing end record, or a torn final
+// line, parses as truncated=true with every complete record retained.
+// Structural violations before the cut (a mid-file parse error, an
+// epoch/end count mismatch, a missing manifest) still fail — a
+// truncated ledger is salvageable, a corrupt one is not.
+func ReadLedgerLenient(r io.Reader) (lf *LedgerFile, truncated bool, err error) {
+	return readLedger(r, true)
+}
+
+func readLedger(r io.Reader, lenient bool) (*LedgerFile, bool, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
 	lf := &LedgerFile{}
@@ -213,70 +262,89 @@ func ReadLedger(r io.Reader) (*LedgerFile, error) {
 			continue
 		}
 		if sawEnd {
-			return nil, fmt.Errorf("obs: line %d: records after the end record", line)
+			return nil, false, fmt.Errorf("obs: line %d: records after the end record", line)
 		}
 		var probe struct {
 			Kind string `json:"kind"`
 		}
 		if err := json.Unmarshal(raw, &probe); err != nil {
-			return nil, fmt.Errorf("obs: line %d: %v", line, err)
+			if lenient && !scannerHasMore(sc) {
+				// A torn final line is the signature of a killed writer:
+				// everything before it is intact.
+				return lf, true, nil
+			}
+			return nil, false, fmt.Errorf("obs: line %d: %v", line, err)
 		}
 		switch probe.Kind {
 		case "manifest":
 			if line != 1 {
-				return nil, fmt.Errorf("obs: line %d: manifest must be the first record", line)
+				return nil, false, fmt.Errorf("obs: line %d: manifest must be the first record", line)
 			}
 			if err := json.Unmarshal(raw, &lf.Manifest); err != nil {
-				return nil, fmt.Errorf("obs: line %d: %v", line, err)
+				return nil, false, fmt.Errorf("obs: line %d: %v", line, err)
 			}
 			if lf.Manifest.Schema != SchemaVersion {
-				return nil, fmt.Errorf("obs: unsupported ledger schema %d (want %d)",
+				return nil, false, fmt.Errorf("obs: unsupported ledger schema %d (want %d)",
 					lf.Manifest.Schema, SchemaVersion)
 			}
 		case "epoch":
 			if line == 1 {
-				return nil, fmt.Errorf("obs: line 1: ledger does not start with a manifest")
+				return nil, false, fmt.Errorf("obs: line 1: ledger does not start with a manifest")
 			}
 			var e EpochRecord
 			if err := json.Unmarshal(raw, &e); err != nil {
-				return nil, fmt.Errorf("obs: line %d: %v", line, err)
+				return nil, false, fmt.Errorf("obs: line %d: %v", line, err)
 			}
 			if e.P <= 0 {
-				return nil, fmt.Errorf("obs: line %d: epoch record with p=%d", line, e.P)
+				return nil, false, fmt.Errorf("obs: line %d: epoch record with p=%d", line, e.P)
 			}
 			if len(e.Ranks) != 0 && len(e.Ranks) != e.P {
-				return nil, fmt.Errorf("obs: line %d: %d rank shares for p=%d", line, len(e.Ranks), e.P)
+				return nil, false, fmt.Errorf("obs: line %d: %d rank shares for p=%d", line, len(e.Ranks), e.P)
 			}
 			lf.Epochs = append(lf.Epochs, e)
 		case "metrics":
 			var m MetricsRecord
 			if err := json.Unmarshal(raw, &m); err != nil {
-				return nil, fmt.Errorf("obs: line %d: %v", line, err)
+				return nil, false, fmt.Errorf("obs: line %d: %v", line, err)
 			}
 			lf.Metrics = m.Counters
 		case "end":
 			if err := json.Unmarshal(raw, &lf.End); err != nil {
-				return nil, fmt.Errorf("obs: line %d: %v", line, err)
+				return nil, false, fmt.Errorf("obs: line %d: %v", line, err)
 			}
 			if lf.End.Epochs != len(lf.Epochs) {
-				return nil, fmt.Errorf("obs: end record counts %d epochs, ledger has %d",
+				return nil, false, fmt.Errorf("obs: end record counts %d epochs, ledger has %d",
 					lf.End.Epochs, len(lf.Epochs))
 			}
 			sawEnd = true
 		default:
-			return nil, fmt.Errorf("obs: line %d: unknown record kind %q", line, probe.Kind)
+			return nil, false, fmt.Errorf("obs: line %d: unknown record kind %q", line, probe.Kind)
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	if line == 0 {
-		return nil, fmt.Errorf("obs: empty ledger")
+		return nil, false, fmt.Errorf("obs: empty ledger")
 	}
 	if !sawEnd {
-		return nil, fmt.Errorf("obs: truncated ledger: no end record")
+		if lenient {
+			return lf, true, nil
+		}
+		return nil, false, fmt.Errorf("obs: truncated ledger: no end record")
 	}
-	return lf, nil
+	return lf, false, nil
+}
+
+// scannerHasMore reports whether another non-blank line follows
+// (consuming input).
+func scannerHasMore(sc *bufio.Scanner) bool {
+	for sc.Scan() {
+		if len(sc.Bytes()) > 0 {
+			return true
+		}
+	}
+	return false
 }
 
 // ReadLedgerFile reads and validates the ledger at path.
@@ -291,4 +359,19 @@ func ReadLedgerFile(path string) (*LedgerFile, error) {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
 	return lf, nil
+}
+
+// ReadLedgerFileLenient reads the ledger at path, tolerating
+// truncation (see ReadLedgerLenient).
+func ReadLedgerFileLenient(path string) (*LedgerFile, bool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, false, err
+	}
+	defer f.Close()
+	lf, truncated, err := ReadLedgerLenient(f)
+	if err != nil {
+		return nil, false, fmt.Errorf("%s: %w", path, err)
+	}
+	return lf, truncated, nil
 }

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"bytes"
 	"os"
 	"path/filepath"
 	"strings"
@@ -104,4 +105,113 @@ func TestLedgerWriteErrorLatched(t *testing.T) {
 		t.Error("Close reported success after underlying write failure")
 	}
 	os.Remove(path)
+}
+
+func TestLedgerBlameRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	l, err := Create(path, testManifest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := testEpoch(2, 0)
+	e.Blame = &BlameRecord{
+		Wait: 0.5, SenderCompute: 0.3, SenderOverhead: 0.1,
+		Contention: 0.05, Wire: 0.05, TopRank: 1, TopPhase: "solve", TopLag: 0.3,
+		TopEdges: []BlameEdge{{Src: 1, Dst: 0, Seconds: 0.1}},
+	}
+	plain := testEpoch(2, 1) // no blame: field must be omitted, not zeroed
+	l.Add(e, plain)
+	if err := l.Close(nil, ""); err != nil {
+		t.Fatal(err)
+	}
+	lf, err := ReadLedgerFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := lf.Epochs[0].Blame
+	if b == nil || b.Wait != 0.5 || b.TopRank != 1 || b.TopPhase != "solve" {
+		t.Errorf("blame = %+v", b)
+	}
+	if len(b.TopEdges) != 1 || b.TopEdges[0] != (BlameEdge{Src: 1, Dst: 0, Seconds: 0.1}) {
+		t.Errorf("top edges = %+v", b.TopEdges)
+	}
+	if lf.Epochs[1].Blame != nil {
+		t.Errorf("blame-free epoch round-tripped a record: %+v", lf.Epochs[1].Blame)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(string(data), "\n")
+	if !strings.Contains(lines[1], `"blame"`) || strings.Contains(lines[2], `"blame"`) {
+		t.Errorf("blame field serialization wrong:\n%s\n%s", lines[1], lines[2])
+	}
+}
+
+// TestReadLedgerLenient: truncation — a run killed before the end
+// record, or a line torn mid-write — parses leniently with everything
+// before the cut intact; strict reading still fails, and mid-file
+// corruption fails both.
+func TestReadLedgerLenient(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	l, err := Create(path, testManifest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Add(testEpoch(2, 0), testEpoch(2, 1))
+	if err := l.Close(nil, "sum"); err != nil {
+		t.Fatal(err)
+	}
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A complete ledger is not truncated.
+	if _, trunc, err := ReadLedgerFileLenient(path); err != nil || trunc {
+		t.Errorf("complete ledger: trunc=%v err=%v", trunc, err)
+	}
+
+	check := func(name string, data []byte, wantEpochs int) {
+		t.Helper()
+		p := filepath.Join(t.TempDir(), "trunc.jsonl")
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ReadLedgerFile(p); err == nil {
+			t.Errorf("%s: strict read succeeded", name)
+		}
+		lf, trunc, err := ReadLedgerFileLenient(p)
+		if err != nil {
+			t.Errorf("%s: lenient read failed: %v", name, err)
+			return
+		}
+		if !trunc {
+			t.Errorf("%s: not reported truncated", name)
+		}
+		if len(lf.Epochs) != wantEpochs {
+			t.Errorf("%s: %d epochs, want %d", name, len(lf.Epochs), wantEpochs)
+		}
+	}
+
+	lines := bytes.Split(bytes.TrimSuffix(full, []byte("\n")), []byte("\n"))
+	// Missing end record (and metrics): both epochs survive.
+	check("no end", append(bytes.Join(lines[:3], []byte("\n")), '\n'), 2)
+	// Torn final line: the complete epoch before it survives.
+	check("torn line", full[:len(full)-int(float64(len(lines[len(lines)-1]))/2)-10], 2)
+	// Manifest only.
+	check("manifest only", append([]byte{}, append(lines[0], '\n')...), 0)
+
+	// Mid-file corruption is damage, not truncation: both readers fail.
+	corrupt := append([]byte{}, lines[0]...)
+	corrupt = append(corrupt, "\n{torn\n"...)
+	corrupt = append(corrupt, bytes.Join(lines[1:], []byte("\n"))...)
+	corrupt = append(corrupt, '\n')
+	p := filepath.Join(t.TempDir(), "corrupt.jsonl")
+	if err := os.WriteFile(p, corrupt, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadLedgerFileLenient(p); err == nil {
+		t.Error("mid-file corruption parsed leniently without error")
+	}
 }

@@ -60,6 +60,12 @@ type RankProfile struct {
 	Wait      [NumClasses]float64 // idle time before arrivals, by protocol class
 	SendMsgs  int                 // messages injected
 	SendBytes int64               // payload bytes injected
+	// PhaseCompute splits Compute by the phase span the work ran under
+	// (event.Phase as stamped on the records; index PhaseNone collects
+	// unphased work).  This is the per-rank face of the blame pass's
+	// league table: a rank whose solve-phase compute dominates here is
+	// the rank WaitBlame will name when its neighbours stall.
+	PhaseCompute [event.NumPhases]float64
 	// PathSeconds is the time this rank's operations occupy on the
 	// window's critical path: full spans for compute and sends, only the
 	// post-arrival copy-out for receives that idled (the pre-arrival
@@ -115,6 +121,21 @@ func (p *Profile) PerIteration() float64 {
 	return p.SolveSeconds / float64(p.SolveSteps)
 }
 
+// TopPhase returns the phase holding the largest share of the rank's
+// compute, with that share of the total (0 when the rank did no work).
+func (r RankProfile) TopPhase() (event.Phase, float64) {
+	best := event.PhaseNone
+	for ph := event.Phase(0); ph < event.NumPhases; ph++ {
+		if r.PhaseCompute[ph] > r.PhaseCompute[best] {
+			best = ph
+		}
+	}
+	if r.Compute <= 0 {
+		return best, 0
+	}
+	return best, r.PhaseCompute[best] / r.Compute
+}
+
 // PathShare returns rank r's share of the critical path in [0, 1].
 func (p *Profile) PathShare(r int) float64 {
 	span := p.PathCompute + p.PathOverhead + p.PathWait
@@ -153,6 +174,7 @@ func FromTrace(tr *event.Trace, start, end int, classify func(tag int) Class) *P
 		switch r.Kind {
 		case event.KindCompute:
 			rp.Compute += r.T1 - r.T0
+			rp.PhaseCompute[r.Phase] += r.T1 - r.T0
 		case event.KindSend:
 			rp.Overhead += r.T1 - r.T0
 			rp.SendMsgs++
