@@ -1,0 +1,47 @@
+# Developer entry points.  The repo needs only the Go toolchain; these
+# targets wrap the invocations CI runs, plus the two baseline-refresh
+# paths (run after a deliberate, reviewed performance or schema change —
+# the diff of the regenerated baseline IS the review artifact).
+
+GO ?= go
+
+.PHONY: build test bench bench-baseline ledger-baseline gate fmt vet
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) build ./... && $(GO) test ./...
+
+bench:
+	$(GO) run ./cmd/plumbench -exp bench -benchout BENCH_sim.json
+
+# bench-baseline refreshes the committed host-benchmark baseline from a
+# fresh local run.  Host numbers are machine-dependent: refresh on the
+# machine class CI uses, or expect the loose 2x threshold to absorb the
+# difference.
+bench-baseline:
+	$(GO) run ./cmd/plumbench -exp bench -benchout ci/BENCH_baseline.json
+	@echo "refreshed ci/BENCH_baseline.json — commit it with the change that moved the numbers"
+
+# ledger-baseline refreshes the committed simulated-run baseline the CI
+# regression gate diffs against.  Simulated epochs are machine-
+# independent, so a refresh is exact everywhere; required after any
+# deliberate simulated-time change or a ledger schema bump (the config
+# digest embeds the schema version).
+ledger-baseline:
+	$(GO) run ./cmd/plumbench -exp feedback -obs ci/LEDGER_baseline.jsonl
+	@echo "refreshed ci/LEDGER_baseline.jsonl — commit it with the change that moved the numbers"
+
+# gate runs the same differential regression gate as CI, locally.
+gate:
+	$(GO) build -o /tmp/plum-gate-bench ./cmd/plumbench
+	$(GO) build -o /tmp/plum-gate-diff ./cmd/plumdiff
+	/tmp/plum-gate-bench -exp feedback -obs /tmp/plum-gate-run.jsonl > /dev/null
+	/tmp/plum-gate-diff -gate -fail-on-flip ci/LEDGER_baseline.jsonl /tmp/plum-gate-run.jsonl
+
+fmt:
+	gofmt -l -w .
+
+vet:
+	$(GO) vet ./...

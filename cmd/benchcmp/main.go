@@ -10,41 +10,21 @@
 // appends it to $GITHUB_STEP_SUMMARY so the run page shows the numbers
 // without digging through logs.
 //
+// The comparison and both renderings live in internal/obs/diff
+// (plumdiff folds the same tables into its combined report); this
+// command is a thin flag-parsing wrapper.
+//
 // Usage: benchcmp [-threshold 2.0] [-strict] [-md out.md] baseline.json current.json
 package main
 
 import (
-	"encoding/json"
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
-	"strings"
+
+	"plum/internal/obs/diff"
 )
-
-// benchResult mirrors plumbench's BenchResult; only the compared fields
-// are declared so the two commands can evolve independently.
-type benchResult struct {
-	Name        string  `json:"name"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	AllocsPerOp float64 `json:"allocs_per_op"`
-}
-
-type benchReport struct {
-	GitSHA     string        `json:"git_sha"`
-	Benchmarks []benchResult `json:"benchmarks"`
-}
-
-func load(path string) (*benchReport, error) {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return nil, err
-	}
-	var r benchReport
-	if err := json.Unmarshal(data, &r); err != nil {
-		return nil, fmt.Errorf("%s: %v", path, err)
-	}
-	return &r, nil
-}
 
 func main() {
 	threshold := flag.Float64("threshold", 2.0, "warn when current ns/op exceeds"+
@@ -57,89 +37,22 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: benchcmp [-threshold f] [-strict] [-md out.md] baseline.json current.json")
 		os.Exit(2)
 	}
-	base, err := load(flag.Arg(0))
+	bd, err := diff.CompareBenchFiles(flag.Arg(0), flag.Arg(1), *threshold)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchcmp: %v\n", err)
 		os.Exit(1)
 	}
-	cur, err := load(flag.Arg(1))
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchcmp: %v\n", err)
-		os.Exit(1)
-	}
-
-	baseline := make(map[string]benchResult, len(base.Benchmarks))
-	for _, b := range base.Benchmarks {
-		baseline[b.Name] = b
-	}
-	fmt.Printf("benchcmp: baseline %s (git %s) vs current %s (git %s), threshold %.2fx\n",
-		flag.Arg(0), orUnknown(base.GitSHA), flag.Arg(1), orUnknown(cur.GitSHA), *threshold)
-
-	var md strings.Builder
-	md.WriteString("### Benchmark comparison\n\n")
-	fmt.Fprintf(&md, "Baseline `%s` vs current `%s`, threshold %.2fx.\n\n",
-		orUnknown(base.GitSHA), orUnknown(cur.GitSHA), *threshold)
-	md.WriteString("| benchmark | baseline ns/op | current ns/op | ratio | Δ allocs/op |\n")
-	md.WriteString("|---|---:|---:|---:|---:|\n")
-
-	warnings := 0
-	for _, c := range cur.Benchmarks {
-		b, ok := baseline[c.Name]
-		if !ok {
-			fmt.Printf("  %-28s (new — no baseline)\n", c.Name)
-			fmt.Fprintf(&md, "| %s | — | %.0f | new | — |\n", c.Name, c.NsPerOp)
-			continue
-		}
-		ratio := 0.0
-		if b.NsPerOp > 0 {
-			ratio = c.NsPerOp / b.NsPerOp
-		}
-		fmt.Printf("  %-28s %12.0f -> %12.0f ns/op  (%.2fx)\n", c.Name, b.NsPerOp, c.NsPerOp, ratio)
-		mark := ""
-		if ratio > *threshold {
-			mark = " ⚠️"
-		}
-		fmt.Fprintf(&md, "| %s | %.0f | %.0f | %.2fx%s | %+.0f |\n",
-			c.Name, b.NsPerOp, c.NsPerOp, ratio, mark, c.AllocsPerOp-b.AllocsPerOp)
-		if ratio > *threshold {
-			fmt.Printf("::warning title=benchmark regression::%s is %.2fx slower than"+
-				" baseline (%.0f -> %.0f ns/op, threshold %.2fx)\n",
-				c.Name, ratio, b.NsPerOp, c.NsPerOp, *threshold)
-			warnings++
-		}
-	}
-	for _, b := range base.Benchmarks {
-		found := false
-		for _, c := range cur.Benchmarks {
-			if c.Name == b.Name {
-				found = true
-				break
-			}
-		}
-		if !found {
-			fmt.Printf("::warning title=benchmark missing::%s is in the baseline but not the"+
-				" current run\n", b.Name)
-			fmt.Fprintf(&md, "| %s | %.0f | — | missing ⚠️ | — |\n", b.Name, b.NsPerOp)
-			warnings++
-		}
-	}
-	if warnings > 0 {
-		fmt.Fprintf(&md, "\n%d warning(s); ⚠️ marks benchmarks past the threshold or missing.\n", warnings)
-	}
+	bd.WriteText(os.Stdout)
+	bd.WriteAnnotations(os.Stdout)
 	if *mdPath != "" {
-		if err := os.WriteFile(*mdPath, []byte(md.String()), 0o644); err != nil {
+		var md bytes.Buffer
+		bd.WriteMarkdown(&md)
+		if err := os.WriteFile(*mdPath, md.Bytes(), 0o644); err != nil {
 			fmt.Fprintf(os.Stderr, "benchcmp: -md: %v\n", err)
 			os.Exit(1)
 		}
 	}
-	if warnings > 0 && *strict {
+	if bd.Warnings > 0 && *strict {
 		os.Exit(1)
 	}
-}
-
-func orUnknown(s string) string {
-	if s == "" {
-		return "unknown"
-	}
-	return s
 }

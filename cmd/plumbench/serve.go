@@ -12,6 +12,7 @@ import (
 
 	"plum/internal/event"
 	"plum/internal/obs"
+	"plum/internal/obs/diff"
 )
 
 // The -serve mode: a host-plane HTTP endpoint that stays up while the
@@ -23,15 +24,17 @@ import (
 //	/metrics        the obs registry, Prometheus text exposition
 //	/runs           JSON listing of *.jsonl ledgers in the ledger dir
 //	/spans          JSON summary of the -spans file (worlds, blame)
+//	/diff           differential analysis vs ?base=<ledger in the dir>
 //	/healthz        {"status":"running"|"done"} — CI polls this
 //	/debug/pprof/*  the standard Go profiler endpoints
 
 // server publishes the registry and ledger directory over HTTP.
 type server struct {
-	dir   string // directory listed by /runs
-	spans string // the -spans file served by /spans ("" = none)
-	addr  string // bound listen address (resolves ":0" for tests)
-	done  atomic.Bool
+	dir    string // directory listed by /runs
+	ledger string // this run's -obs ledger (the "current" side of /diff)
+	spans  string // the -spans file served by /spans ("" = none)
+	addr   string // bound listen address (resolves ":0" for tests)
+	done   atomic.Bool
 }
 
 // startServe binds addr synchronously (so a bad address fails the run
@@ -41,7 +44,7 @@ func startServe(addr, ledgerPath, spansPath string) (*server, error) {
 	if ledgerPath != "" {
 		dir = filepath.Dir(ledgerPath)
 	}
-	s := &server{dir: dir, spans: spansPath}
+	s := &server{dir: dir, ledger: ledgerPath, spans: spansPath}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
@@ -54,6 +57,7 @@ func startServe(addr, ledgerPath, spansPath string) (*server, error) {
 	})
 	mux.HandleFunc("/runs", s.handleRuns)
 	mux.HandleFunc("/spans", s.handleSpans)
+	mux.HandleFunc("/diff", s.handleDiff)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		status := "running"
 		if s.done.Load() {
@@ -73,7 +77,7 @@ func startServe(addr, ledgerPath, spansPath string) (*server, error) {
 			os.Exit(1)
 		}
 	}()
-	fmt.Fprintf(os.Stderr, "plumbench: serving /metrics, /runs, /spans, /healthz, /debug/pprof on %s\n",
+	fmt.Fprintf(os.Stderr, "plumbench: serving /metrics, /runs, /spans, /diff, /healthz, /debug/pprof on %s\n",
 		ln.Addr())
 	return s, nil
 }
@@ -154,6 +158,52 @@ func (s *server) handleSpans(w http.ResponseWriter, r *http.Request) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	enc.Encode(entries)
+}
+
+// handleDiff runs an exact differential analysis of this run's -obs
+// ledger against a base ledger from the same directory:
+//
+//	/diff?base=<file>&format=text|md|json
+//
+// The base is confined to the ledger directory (a bare file name, as
+// listed by /runs) so the endpoint cannot read arbitrary paths.  Both
+// sides read leniently — diffing against a run still in progress
+// compares the epochs flushed so far.
+func (s *server) handleDiff(w http.ResponseWriter, r *http.Request) {
+	if s.ledger == "" {
+		http.Error(w, "no -obs ledger for this run", http.StatusNotFound)
+		return
+	}
+	base := r.URL.Query().Get("base")
+	if base == "" {
+		http.Error(w, "missing ?base=<ledger file> (see /runs for candidates)", http.StatusBadRequest)
+		return
+	}
+	if base != filepath.Base(base) || base == "." || base == ".." {
+		http.Error(w, "base must be a bare file name in the ledger directory", http.StatusBadRequest)
+		return
+	}
+	basePath := filepath.Join(s.dir, base)
+	rep, err := diff.LedgerFiles(basePath, s.ledger, true, diff.Options{Metrics: true})
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	switch r.URL.Query().Get("format") {
+	case "", "text":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		rep.WriteText(w)
+	case "md":
+		w.Header().Set("Content-Type", "text/markdown; charset=utf-8")
+		rep.WriteMarkdown(w)
+	case "json":
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(rep)
+	default:
+		http.Error(w, "format must be text, md, or json", http.StatusBadRequest)
+	}
 }
 
 // finish marks the run complete and blocks forever: -serve keeps the

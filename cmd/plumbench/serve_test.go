@@ -95,11 +95,14 @@ func TestServeConcurrentScrape(t *testing.T) {
 			}
 		}
 	}
-	wg.Add(4)
+	wg.Add(5)
 	go scrape("/metrics", "plum_msg_messages_total")
 	go scrape("/runs", "run.jsonl")
 	go scrape("/spans", "serve_test")
 	go scrape("/healthz", "running")
+	// Self-diff via the endpoint: the served ledger vs itself must
+	// report exact zero deltas.
+	go scrape("/diff?base=run.jsonl", "no differences")
 
 	// Meanwhile, worlds run and flush their counters into the registry
 	// the /metrics goroutine is reading.
@@ -125,5 +128,65 @@ func TestServeConcurrentScrape(t *testing.T) {
 	resp.Body.Close()
 	if !strings.Contains(string(body), "done") {
 		t.Errorf("healthz after done = %s", body)
+	}
+}
+
+// TestServeDiffEndpoint exercises /diff beyond the happy path: formats,
+// the directory confinement, and the missing-base error.
+func TestServeDiffEndpoint(t *testing.T) {
+	dir := t.TempDir()
+	ledgerPath := filepath.Join(dir, "cur.jsonl")
+	l, err := obs.Create(ledgerPath, obs.Manifest{Tool: "serve_test", ConfigDigest: "d1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Add(obs.EpochRecord{Kind: "epoch", Exp: "test", P: 2, SolveSeconds: 2.0})
+	if err := l.Close(nil, ""); err != nil {
+		t.Fatal(err)
+	}
+	basePath := filepath.Join(dir, "base.jsonl")
+	b, err := obs.Create(basePath, obs.Manifest{Tool: "serve_test", ConfigDigest: "d1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Add(obs.EpochRecord{Kind: "epoch", Exp: "test", P: 2, SolveSeconds: 1.0})
+	if err := b.Close(nil, ""); err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := startServe("127.0.0.1:0", ledgerPath, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(path string) (int, string) {
+		resp, err := http.Get("http://" + s.addr + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := get("/diff?base=base.jsonl"); code != http.StatusOK ||
+		!strings.Contains(body, "+1.000000") {
+		t.Errorf("text diff: status %d, body %s", code, body)
+	}
+	if code, body := get("/diff?base=base.jsonl&format=json"); code != http.StatusOK ||
+		!strings.Contains(body, `"d_time": 1`) {
+		t.Errorf("json diff: status %d, body %s", code, body)
+	}
+	if code, body := get("/diff?base=base.jsonl&format=md"); code != http.StatusOK ||
+		!strings.Contains(body, "### Differential run analysis") {
+		t.Errorf("md diff: status %d, body %s", code, body)
+	}
+	if code, _ := get("/diff?base=../escape.jsonl"); code != http.StatusBadRequest {
+		t.Errorf("path escape: status %d, want 400", code)
+	}
+	if code, _ := get("/diff?base=nope.jsonl"); code != http.StatusServiceUnavailable {
+		t.Errorf("missing base: status %d, want 503", code)
+	}
+	if code, _ := get("/diff"); code != http.StatusBadRequest {
+		t.Errorf("no base: status %d, want 400", code)
 	}
 }

@@ -159,7 +159,7 @@ func NewSpanLog(p int, opts SpanOptions) *SpanLog {
 		s.cut = make([]int, p)
 	}
 	s.writeLine(spanHdr{
-		K: "hdr", Schema: 1, P: p,
+		K: "hdr", Schema: SpanSchemaVersion, P: p,
 		Ring: opts.RingCap, Sample: opts.SampleEvery, Label: opts.Label,
 	})
 	return s
@@ -383,6 +383,15 @@ func (s *SpanLog) writeLine(v any) {
 // epoch at P=4096.
 const blameTopK = 16
 
+// SpanSchemaVersion is the span-stream JSONL schema this package
+// writes.  Readers accept [MinSpanSchemaVersion, SpanSchemaVersion] and
+// reject anything else loudly, naming both the file's version and the
+// supported range.
+const (
+	SpanSchemaVersion    = 2
+	MinSpanSchemaVersion = 1
+)
+
 // The JSONL span-stream schema.  One stream per world; a file may
 // concatenate several streams (hdr ... end, hdr ... end).
 type spanHdr struct {
@@ -480,8 +489,10 @@ func ReadSpans(r io.Reader) ([]SpanWorld, error) {
 			if err := json.Unmarshal(raw, &h); err != nil {
 				return nil, fmt.Errorf("event: span file line %d: %v", line, err)
 			}
-			if h.Schema != 1 {
-				return nil, fmt.Errorf("event: span file line %d: unsupported schema %d", line, h.Schema)
+			if h.Schema < MinSpanSchemaVersion || h.Schema > SpanSchemaVersion {
+				return nil, fmt.Errorf("event: span file line %d: stream schema v%d unsupported"+
+					" by this reader (supports v%d..v%d) — regenerate the stream or upgrade the tool",
+					line, h.Schema, MinSpanSchemaVersion, SpanSchemaVersion)
 			}
 			worlds = append(worlds, SpanWorld{
 				P: h.P, Ring: h.Ring, Sample: h.Sample, Label: h.Label,

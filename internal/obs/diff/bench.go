@@ -1,0 +1,129 @@
+package diff
+
+// Host-benchmark comparison: the BENCH_sim.json half of a differential
+// analysis.  This is the one inexact plane — ns/op comes from a real
+// machine — so comparisons carry a threshold and a status instead of
+// exact-zero semantics.  cmd/benchcmp is a thin wrapper over this file,
+// and plumdiff folds the same comparison into its combined report, so
+// bench and ledger diffs share one formatter.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// BenchStatus classifies one benchmark's comparison.
+type BenchStatus string
+
+// The bench entry statuses.
+const (
+	BenchOK        BenchStatus = "ok"
+	BenchRegressed BenchStatus = "regressed" // ratio past the threshold
+	BenchNew       BenchStatus = "new"       // no baseline entry
+	BenchMissing   BenchStatus = "missing"   // baseline entry absent from current
+)
+
+// BenchEntry is one benchmark's base/current pair.
+type BenchEntry struct {
+	Name    string      `json:"name"`
+	BaseNs  float64     `json:"base_ns"`
+	CurNs   float64     `json:"cur_ns"`
+	Ratio   float64     `json:"ratio"` // CurNs/BaseNs; 0 when either side is absent
+	DAllocs float64     `json:"d_allocs"`
+	Status  BenchStatus `json:"status"`
+}
+
+// BenchDiff is the full benchmark comparison.
+type BenchDiff struct {
+	BaseFile  string       `json:"base_file"`
+	CurFile   string       `json:"cur_file"`
+	BaseGit   string       `json:"base_git"`
+	CurGit    string       `json:"cur_git"`
+	Threshold float64      `json:"threshold"`
+	Entries   []BenchEntry `json:"entries"`
+	Warnings  int          `json:"warnings"` // regressed + missing
+}
+
+// benchResult mirrors plumbench's BenchResult; only the compared fields
+// are declared so the two sides can evolve independently.
+type benchResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+type benchReport struct {
+	GitSHA     string        `json:"git_sha"`
+	Benchmarks []benchResult `json:"benchmarks"`
+}
+
+func loadBench(path string) (*benchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r benchReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return &r, nil
+}
+
+// CompareBenchFiles loads two BENCH_sim.json artifacts and compares
+// them benchmark by benchmark against the ns/op ratio threshold.
+func CompareBenchFiles(basePath, curPath string, threshold float64) (*BenchDiff, error) {
+	base, err := loadBench(basePath)
+	if err != nil {
+		return nil, err
+	}
+	cur, err := loadBench(curPath)
+	if err != nil {
+		return nil, err
+	}
+	bd := compareBench(base, cur, threshold)
+	bd.BaseFile, bd.CurFile = basePath, curPath
+	return bd, nil
+}
+
+// compareBench walks the current run's benchmarks in order, then
+// appends baseline-only entries sorted by name (deterministic output).
+func compareBench(base, cur *benchReport, threshold float64) *BenchDiff {
+	bd := &BenchDiff{BaseGit: base.GitSHA, CurGit: cur.GitSHA, Threshold: threshold}
+	baseline := make(map[string]benchResult, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		baseline[b.Name] = b
+	}
+	seen := map[string]bool{}
+	for _, c := range cur.Benchmarks {
+		seen[c.Name] = true
+		b, ok := baseline[c.Name]
+		if !ok {
+			bd.Entries = append(bd.Entries, BenchEntry{Name: c.Name, CurNs: c.NsPerOp, Status: BenchNew})
+			continue
+		}
+		e := BenchEntry{
+			Name: c.Name, BaseNs: b.NsPerOp, CurNs: c.NsPerOp,
+			DAllocs: c.AllocsPerOp - b.AllocsPerOp, Status: BenchOK,
+		}
+		if b.NsPerOp > 0 {
+			e.Ratio = c.NsPerOp / b.NsPerOp
+		}
+		if e.Ratio > threshold {
+			e.Status = BenchRegressed
+			bd.Warnings++
+		}
+		bd.Entries = append(bd.Entries, e)
+	}
+	var missing []BenchEntry
+	for _, b := range base.Benchmarks {
+		if !seen[b.Name] {
+			missing = append(missing, BenchEntry{Name: b.Name, BaseNs: b.NsPerOp, Status: BenchMissing})
+			bd.Warnings++
+		}
+	}
+	sort.Slice(missing, func(i, j int) bool { return missing[i].Name < missing[j].Name })
+	bd.Entries = append(bd.Entries, missing...)
+	return bd
+}

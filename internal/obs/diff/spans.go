@@ -1,0 +1,319 @@
+package diff
+
+// Span-stream comparison: the blame half of a differential analysis.
+// A span file (plumbench -spans) carries, per world stream, the
+// per-epoch wait-blame summaries with their top-k sender-lag cells and
+// contended edges — finer than the single top cell the ledger embeds.
+// Diffing two streams answers "which rank×phase cell grew" with the
+// full league table instead of one champion.
+//
+// Cells are a lower bound per cell (each epoch serializes only its
+// top-k; the remainder folds into lag_other), so the diff carries the
+// lag_other movement alongside the cell deltas to keep the total exact.
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"plum/internal/event"
+)
+
+// LagCellDelta is one rank×phase sender-lag cell's movement, summed
+// across a world's epochs.
+type LagCellDelta struct {
+	Rank  int     `json:"rank"`
+	Phase string  `json:"phase"`
+	Base  float64 `json:"base"`
+	Cur   float64 `json:"cur"`
+	Delta float64 `json:"delta"`
+}
+
+// EdgeDelta is one directed rank pair's queue+wire movement.
+type EdgeDelta struct {
+	Src   int     `json:"src"`
+	Dst   int     `json:"dst"`
+	Base  float64 `json:"base"`
+	Cur   float64 `json:"cur"`
+	Delta float64 `json:"delta"`
+}
+
+// EpochBlameDelta is one aligned epoch's blame movement.
+type EpochBlameDelta struct {
+	Epoch           int     `json:"epoch"`
+	DWait           float64 `json:"d_wait"`
+	DSenderCompute  float64 `json:"d_sender_compute"`
+	DSenderOverhead float64 `json:"d_sender_overhead"`
+	DContention     float64 `json:"d_contention"`
+	DWire           float64 `json:"d_wire"`
+	DIdle           float64 `json:"d_idle"`
+}
+
+// SpanWorldDelta is the comparison of one aligned world stream pair.
+type SpanWorldDelta struct {
+	Label    string `json:"label"` // canonical key of the matched pair
+	ModeFlip bool   `json:"mode_flip,omitempty"`
+	P        int    `json:"p"`
+
+	DSpans  int  `json:"d_spans"`  // span-count delta
+	DEpochs int  `json:"d_epochs"` // blame-epoch delta
+	Zero    bool `json:"zero"`
+
+	Epochs []EpochBlameDelta `json:"epochs,omitempty"`
+	// Cells/Edges: the largest absolute movers across all epochs.
+	Cells     []LagCellDelta `json:"cells,omitempty"`
+	DLagOther float64        `json:"d_lag_other,omitempty"`
+	Edges     []EdgeDelta    `json:"edges,omitempty"`
+}
+
+// spanKey canonicalizes a stream's label for alignment: the standard
+// exp/model/run/p annotation when present, the raw sorted label
+// otherwise.
+type spanKey struct {
+	exp, model, run, p string
+}
+
+func (k spanKey) modeless() spanKey { k.run = ""; return k }
+
+func (k spanKey) String() string {
+	model := k.model
+	if model == "" {
+		model = "flat"
+	}
+	return fmt.Sprintf("%s/%s/%s/P=%s", k.exp, model, k.run, k.p)
+}
+
+func keyOf(w *event.SpanWorld) spanKey {
+	return spanKey{
+		exp:   w.Label["exp"],
+		model: w.Label["model"],
+		run:   w.Label["run"],
+		p:     w.Label["p"],
+	}
+}
+
+// Spans aligns two parsed span files world by world (exact label match
+// first, pricing-mode wildcard second, stream order last) and diffs the
+// blame tables of each aligned pair.  Unmatched worlds surface as
+// findings appended by the caller via SpanFindings.
+func Spans(base, cur []event.SpanWorld, opt Options) []SpanWorldDelta {
+	used := make([]bool, len(cur))
+	pair := func(b *event.SpanWorld) int {
+		bk := keyOf(b)
+		for ci := range cur {
+			if !used[ci] && keyOf(&cur[ci]) == bk {
+				return ci
+			}
+		}
+		match, n := -1, 0
+		for ci := range cur {
+			if !used[ci] && keyOf(&cur[ci]).modeless() == bk.modeless() {
+				match = ci
+				n++
+			}
+		}
+		if n == 1 {
+			return match
+		}
+		return -1
+	}
+	var out []SpanWorldDelta
+	for bi := range base {
+		ci := pair(&base[bi])
+		if ci < 0 {
+			out = append(out, SpanWorldDelta{
+				Label: keyOf(&base[bi]).String(), P: base[bi].P,
+				DSpans: -len(base[bi].Spans), DEpochs: -len(base[bi].Blame),
+			})
+			continue
+		}
+		used[ci] = true
+		out = append(out, diffSpanWorld(&base[bi], &cur[ci], opt.topK()))
+	}
+	for ci := range cur {
+		if !used[ci] {
+			out = append(out, SpanWorldDelta{
+				Label: keyOf(&cur[ci]).String(), P: cur[ci].P,
+				DSpans: len(cur[ci].Spans), DEpochs: len(cur[ci].Blame),
+			})
+		}
+	}
+	return out
+}
+
+func diffSpanWorld(b, c *event.SpanWorld, topK int) SpanWorldDelta {
+	bk, ck := keyOf(b), keyOf(c)
+	d := SpanWorldDelta{
+		Label:    bk.String(),
+		ModeFlip: bk != ck,
+		P:        b.P,
+		DSpans:   len(c.Spans) - len(b.Spans),
+		DEpochs:  len(c.Blame) - len(b.Blame),
+	}
+	if d.ModeFlip {
+		d.Label = fmt.Sprintf("%s vs %s", bk, ck)
+	}
+
+	blameByEpoch := func(ws []event.EpochBlame) map[int]*event.EpochBlame {
+		m := make(map[int]*event.EpochBlame, len(ws))
+		for i := range ws {
+			m[ws[i].Epoch] = &ws[i]
+		}
+		return m
+	}
+	cm := blameByEpoch(c.Blame)
+	type cellKey struct {
+		rank  int
+		phase string
+	}
+	cellBase, cellCur := map[cellKey]float64{}, map[cellKey]float64{}
+	edgeBase, edgeCur := map[[2]int]float64{}, map[[2]int]float64{}
+	var lagOtherBase, lagOtherCur float64
+	for i := range b.Blame {
+		eb := &b.Blame[i]
+		lagOtherBase += eb.LagOther
+		for _, l := range eb.Lag {
+			cellBase[cellKey{l.Rank, l.Phase}] += l.Seconds
+		}
+		for _, e := range eb.Edges {
+			edgeBase[[2]int{e.Src, e.Dst}] += e.Queue + e.Wire
+		}
+		cb, ok := cm[eb.Epoch]
+		if !ok {
+			continue
+		}
+		ed := EpochBlameDelta{
+			Epoch:           eb.Epoch,
+			DWait:           cb.Wait - eb.Wait,
+			DSenderCompute:  cb.SenderCompute - eb.SenderCompute,
+			DSenderOverhead: cb.SenderOverhead - eb.SenderOverhead,
+			DContention:     cb.Contention - eb.Contention,
+			DWire:           cb.Wire - eb.Wire,
+			DIdle:           cb.Idle - eb.Idle,
+		}
+		if ed != (EpochBlameDelta{Epoch: eb.Epoch}) {
+			d.Epochs = append(d.Epochs, ed)
+		}
+	}
+	for i := range c.Blame {
+		cb := &c.Blame[i]
+		lagOtherCur += cb.LagOther
+		for _, l := range cb.Lag {
+			cellCur[cellKey{l.Rank, l.Phase}] += l.Seconds
+		}
+		for _, e := range cb.Edges {
+			edgeCur[[2]int{e.Src, e.Dst}] += e.Queue + e.Wire
+		}
+	}
+	d.DLagOther = lagOtherCur - lagOtherBase
+
+	cells := map[cellKey]bool{}
+	for k := range cellBase {
+		cells[k] = true
+	}
+	for k := range cellCur {
+		cells[k] = true
+	}
+	for k := range cells {
+		bv, cv := cellBase[k], cellCur[k]
+		if bv == cv {
+			continue
+		}
+		d.Cells = append(d.Cells, LagCellDelta{
+			Rank: k.rank, Phase: k.phase, Base: bv, Cur: cv, Delta: cv - bv,
+		})
+	}
+	sort.Slice(d.Cells, func(i, j int) bool {
+		ai, aj := math.Abs(d.Cells[i].Delta), math.Abs(d.Cells[j].Delta)
+		if ai != aj {
+			return ai > aj
+		}
+		if d.Cells[i].Rank != d.Cells[j].Rank {
+			return d.Cells[i].Rank < d.Cells[j].Rank
+		}
+		return d.Cells[i].Phase < d.Cells[j].Phase
+	})
+	if len(d.Cells) > topK {
+		d.Cells = d.Cells[:topK]
+	}
+
+	edges := map[[2]int]bool{}
+	for k := range edgeBase {
+		edges[k] = true
+	}
+	for k := range edgeCur {
+		edges[k] = true
+	}
+	for k := range edges {
+		bv, cv := edgeBase[k], edgeCur[k]
+		if bv == cv {
+			continue
+		}
+		d.Edges = append(d.Edges, EdgeDelta{Src: k[0], Dst: k[1], Base: bv, Cur: cv, Delta: cv - bv})
+	}
+	sort.Slice(d.Edges, func(i, j int) bool {
+		ai, aj := math.Abs(d.Edges[i].Delta), math.Abs(d.Edges[j].Delta)
+		if ai != aj {
+			return ai > aj
+		}
+		if d.Edges[i].Src != d.Edges[j].Src {
+			return d.Edges[i].Src < d.Edges[j].Src
+		}
+		return d.Edges[i].Dst < d.Edges[j].Dst
+	})
+	if len(d.Edges) > topK {
+		d.Edges = d.Edges[:topK]
+	}
+
+	d.Zero = !d.ModeFlip && d.DSpans == 0 && d.DEpochs == 0 &&
+		len(d.Epochs) == 0 && len(d.Cells) == 0 && len(d.Edges) == 0 && d.DLagOther == 0
+	return d
+}
+
+// SpanFiles reads and diffs two span files.
+func SpanFiles(basePath, curPath string, opt Options) ([]SpanWorldDelta, error) {
+	base, err := event.ReadSpansFile(basePath)
+	if err != nil {
+		return nil, err
+	}
+	cur, err := event.ReadSpansFile(curPath)
+	if err != nil {
+		return nil, err
+	}
+	return Spans(base, cur, opt), nil
+}
+
+// SpanFindings converts span deltas into ranked findings (appended to a
+// ledger report's findings by the caller, re-ranked together).
+func SpanFindings(deltas []SpanWorldDelta) []Finding {
+	var fs []Finding
+	for i := range deltas {
+		d := &deltas[i]
+		if d.Zero {
+			continue
+		}
+		var worst float64
+		for _, c := range d.Cells {
+			if a := math.Abs(c.Delta); a > worst {
+				worst = a
+			}
+		}
+		for _, e := range d.Epochs {
+			if a := math.Abs(e.DWait); a > worst {
+				worst = a
+			}
+		}
+		msg := fmt.Sprintf("spans %s: %d blame epoch(s) moved, %+d spans", d.Label, len(d.Epochs), d.DSpans)
+		if len(d.Cells) > 0 {
+			c := d.Cells[0]
+			msg += fmt.Sprintf("; largest lag-cell shift r%d/%s %+.6fs (%.6f -> %.6f)",
+				c.Rank, c.Phase, c.Delta, c.Base, c.Cur)
+		}
+		if len(d.Edges) > 0 {
+			e := d.Edges[0]
+			msg += fmt.Sprintf("; largest edge shift %d->%d %+.6fs", e.Src, e.Dst, e.Delta)
+		}
+		fs = append(fs, Finding{Kind: "blame", Run: d.Label, Epoch: -1, Severity: worst, Msg: msg})
+	}
+	return fs
+}

@@ -18,9 +18,16 @@ import (
 // GOMAXPROCS values, and machines — which is what makes a ledger both a
 // diffable experiment artifact and a determinism check.
 
-// SchemaVersion is the ledger JSONL schema this package writes; readers
-// reject other versions rather than guess.
-const SchemaVersion = 1
+// SchemaVersion is the ledger JSONL schema this package writes.
+// Readers accept [MinSchemaVersion, SchemaVersion] and reject anything
+// else loudly, naming both the file's version and the supported range
+// rather than guessing.  v2 added nothing structural over v1 — it marks
+// the point where schema acceptance became a range, so future additive
+// changes can bump the writer without orphaning committed baselines.
+const (
+	SchemaVersion    = 2
+	MinSchemaVersion = 1
+)
 
 // Manifest is the first record of a ledger: everything needed to name
 // the run and decide whether two ledgers are comparable.  Host fields
@@ -283,9 +290,10 @@ func readLedger(r io.Reader, lenient bool) (*LedgerFile, bool, error) {
 			if err := json.Unmarshal(raw, &lf.Manifest); err != nil {
 				return nil, false, fmt.Errorf("obs: line %d: %v", line, err)
 			}
-			if lf.Manifest.Schema != SchemaVersion {
-				return nil, false, fmt.Errorf("obs: unsupported ledger schema %d (want %d)",
-					lf.Manifest.Schema, SchemaVersion)
+			if lf.Manifest.Schema < MinSchemaVersion || lf.Manifest.Schema > SchemaVersion {
+				return nil, false, fmt.Errorf("obs: ledger schema v%d unsupported by this reader"+
+					" (supports v%d..v%d) — regenerate the ledger or upgrade the tool",
+					lf.Manifest.Schema, MinSchemaVersion, SchemaVersion)
 			}
 		case "epoch":
 			if line == 1 {

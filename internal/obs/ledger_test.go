@@ -66,7 +66,7 @@ func TestReadLedgerRejectsMalformed(t *testing.T) {
 	}{
 		{"empty", "", "empty ledger"},
 		{"no manifest", `{"kind":"epoch","p":2}`, "does not start with a manifest"},
-		{"bad schema", `{"kind":"manifest","schema":99}`, "unsupported ledger schema"},
+		{"bad schema", `{"kind":"manifest","schema":99}`, "schema v99 unsupported by this reader (supports v1..v2)"},
 		{"truncated", `{"kind":"manifest","schema":1}`, "no end record"},
 		{"bad epoch p", `{"kind":"manifest","schema":1}` + "\n" +
 			`{"kind":"epoch","p":0}`, "p=0"},
