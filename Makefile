@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test bench bench-baseline ledger-baseline gate fmt vet
+.PHONY: build test bench bench-baseline ledger-baseline gate scenarios scenario-baseline fmt vet
 
 build:
 	$(GO) build ./...
@@ -39,6 +39,28 @@ gate:
 	$(GO) build -o /tmp/plum-gate-diff ./cmd/plumdiff
 	/tmp/plum-gate-bench -exp feedback -obs /tmp/plum-gate-run.jsonl > /dev/null
 	/tmp/plum-gate-diff -gate -fail-on-flip ci/LEDGER_baseline.jsonl /tmp/plum-gate-run.jsonl
+
+# scenarios runs the committed workload corpus (ci/scenarios/*.json)
+# under both pricing modes and prints the league table.
+scenarios:
+	$(GO) run ./cmd/plumbench -exp scenarios
+
+# scenario-baseline regenerates every golden scenario ledger the CI
+# scenario-gate byte-verifies against.  One plumbench invocation per
+# scenario — the goldens must match the per-scenario runs CI performs
+# (the ledger's config digest covers the selected scenario names).
+# Scenario ledgers omit the host-metrics record, so a refresh is exact
+# on any machine; commit the regenerated goldens with the change that
+# moved them — their diff IS the review artifact.
+scenario-baseline:
+	$(GO) build -o /tmp/plum-scenario-bench ./cmd/plumbench
+	@for f in ci/scenarios/*.json; do \
+		name=$$(basename $$f .json); \
+		echo "regenerating ci/scenarios/$$name.golden.jsonl"; \
+		/tmp/plum-scenario-bench -exp scenarios -scenario $$name \
+			-obs ci/scenarios/$$name.golden.jsonl > /dev/null || exit 1; \
+	done
+	@echo "refreshed ci/scenarios/*.golden.jsonl — commit them with the change that moved the numbers"
 
 fmt:
 	gofmt -l -w .

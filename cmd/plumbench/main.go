@@ -4,8 +4,8 @@
 // Usage:
 //
 //	plumbench [-paper] [-model flat|smp|fattree|hetero] [-trace file.json]
-//	          [-measured]
-//	          [-exp all|table1|table2|fig2|fig4|fig5|fig6|fig7|fig8|implicit|machine|feedback]
+//	          [-measured] [-scenario names] [-scenario-dir dir]
+//	          [-exp all|table1|table2|fig2|fig4|fig5|fig6|fig7|fig8|implicit|machine|feedback|scenarios]
 //
 // The implicit experiment goes beyond the paper: it drives the
 // solve->adapt->balance cycle with a preconditioned-CG workload
@@ -30,6 +30,17 @@
 // previous epoch's event-trace profile (internal/profile) — and the
 // decisions, prices, and end-to-end simulated times are compared.
 // -measured applies the same loop to the implicit experiment itself.
+//
+// The scenarios experiment generalizes the feedback comparison to the
+// declarative workload corpus (internal/scenario, ci/scenarios):
+// moving refinement fronts, bursty adaption, transient rank
+// stragglers, and multi-job fat-tree contention, each run under both
+// pricing modes and summarized in a league table.  -scenario selects
+// scenarios by name (comma-separated); -scenario-dir points at an
+// alternative corpus.  Because every scenario run is a pure function
+// of its spec, the committed corpus's golden ledgers double as the
+// balancer's byte-exact regression suite (CI scenario-gate,
+// plumdiff -gate).
 //
 // -spans streams the causal span layer: every epoch-driving world's
 // per-rank phase spans (solve, halo, collective, SPAI, refine,
@@ -65,53 +76,70 @@ import (
 	"plum/internal/machine"
 	"plum/internal/obs"
 	"plum/internal/report"
+	"plum/internal/scenario"
 	"plum/internal/solver"
 )
 
 // validExps lists the accepted -exp values in presentation order.
 // "bench" is the host-performance suite (BENCH_sim.json) and runs only
 // when named explicitly — it measures the machine running the
-// reproduction, not the machine being reproduced, so "all" excludes it.
+// reproduction, not the machine being reproduced, so "all" excludes
+// it; "scenarios" drives the committed workload corpus and is likewise
+// explicit-only (its runtime scales with the corpus).
 var validExps = []string{"all", "table1", "table2", "fig2", "fig4", "fig5",
-	"fig6", "fig7", "fig8", "implicit", "machine", "feedback", "bench"}
-
-func usageError(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "plumbench: "+format+"\n", args...)
-	fmt.Fprintf(os.Stderr, "valid -exp values:   %s\n", strings.Join(validExps, ", "))
-	fmt.Fprintf(os.Stderr, "valid -model values: %s (default: uniform SP2)\n",
-		strings.Join(machine.Names(), ", "))
-	flag.Usage()
-	os.Exit(2)
-}
+	"fig6", "fig7", "fig8", "implicit", "machine", "feedback", "scenarios", "bench"}
 
 func main() {
-	paper := flag.Bool("paper", false, "run at paper scale (60,912 elements, P up to 64)")
-	exp := flag.String("exp", "all", "experiment to run: "+strings.Join(validExps, ", "))
-	model := flag.String("model", "", "machine topology for all experiments: "+
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entrypoint: exit 0 on success, 1 on I/O errors,
+// 2 on usage errors (mirroring cmd/plumdiff).
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("plumbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	paper := fs.Bool("paper", false, "run at paper scale (60,912 elements, P up to 64)")
+	exp := fs.String("exp", "all", "experiment to run: "+strings.Join(validExps, ", "))
+	model := fs.String("model", "", "machine topology for all experiments: "+
 		strings.Join(machine.Names(), ", ")+" (default: uniform SP2)")
-	trace := flag.String("trace", "", "write Chrome-tracing JSON of the implicit-step event"+
+	trace := fs.String("trace", "", "write Chrome-tracing JSON of the implicit-step event"+
 		" timeline to this file (requires -exp all or implicit)")
-	measured := flag.Bool("measured", false, "measured-cost feedback loop: run the implicit"+
+	measured := fs.Bool("measured", false, "measured-cost feedback loop: run the implicit"+
 		" experiment traced and price each epoch's gain/cost decision from the previous"+
 		" epoch's profile (off: the paper's analytic pricing, bitwise)")
-	benchout := flag.String("benchout", "BENCH_sim.json", "output path for -exp bench"+
+	benchout := fs.String("benchout", "BENCH_sim.json", "output path for -exp bench"+
 		" (machine-readable ns/op, allocs/op, simulated-vs-host ratio)")
-	obsPath := flag.String("obs", "", "write a run ledger (JSONL) to this file: manifest,"+
+	obsPath := fs.String("obs", "", "write a run ledger (JSONL) to this file: manifest,"+
 		" one record per adaption epoch of the epoch-driving experiments (implicit,"+
-		" feedback), host-metrics snapshot, end record with an output checksum."+
+		" feedback, scenarios), host-metrics snapshot, end record with an output checksum."+
 		" Observation only: simulated outputs are byte-identical with or without it")
-	spansPath := flag.String("spans", "", "stream phase spans (JSONL) to this file: one"+
-		" stream per world of the epoch-driving experiments (implicit, feedback), each"+
-		" rank's timeline cut into nested phase spans with a per-epoch wait-blame"+
-		" summary.  Bounded memory (per-rank span ring), deterministic bytes, and"+
-		" observation only, like -obs.  Render with plumviz -blame")
-	serveAddr := flag.String("serve", "", "serve /metrics (Prometheus text), /runs,"+
+	spansPath := fs.String("spans", "", "stream phase spans (JSONL) to this file: one"+
+		" stream per world of the epoch-driving experiments (implicit, feedback,"+
+		" scenarios), each rank's timeline cut into nested phase spans with a per-epoch"+
+		" wait-blame summary.  Bounded memory (per-rank span ring), deterministic bytes,"+
+		" and observation only, like -obs.  Render with plumviz -blame")
+	serveAddr := fs.String("serve", "", "serve /metrics (Prometheus text), /runs,"+
 		" /healthz, and /debug/pprof on this address during and after the run"+
 		" (e.g. 127.0.0.1:9090); the process then stays up until interrupted")
-	flag.Parse()
+	scenarioSel := fs.String("scenario", "", "comma-separated scenario names to run from"+
+		" the corpus (requires -exp scenarios; default: the whole corpus)")
+	scenarioDir := fs.String("scenario-dir", defaultScenarioDir, "scenario corpus directory"+
+		" of *.json specs (only consulted by -exp scenarios)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
-	if flag.NArg() > 0 {
-		usageError("unexpected arguments %q", flag.Args())
+	usageError := func(format string, a ...any) int {
+		fmt.Fprintf(stderr, "plumbench: "+format+"\n", a...)
+		fmt.Fprintf(stderr, "valid -exp values:   %s\n", strings.Join(validExps, ", "))
+		fmt.Fprintf(stderr, "valid -model values: %s (default: uniform SP2)\n",
+			strings.Join(machine.Names(), ", "))
+		fs.Usage()
+		return 2
+	}
+
+	if fs.NArg() > 0 {
+		return usageError("unexpected arguments %q", fs.Args())
 	}
 	expOK := false
 	for _, v := range validExps {
@@ -121,47 +149,68 @@ func main() {
 		}
 	}
 	if !expOK {
-		usageError("unknown -exp value %q", *exp)
+		return usageError("unknown -exp value %q", *exp)
 	}
 	if *trace != "" && *exp != "all" && *exp != "implicit" {
-		usageError("-trace records the implicit-step timeline; it requires -exp all or implicit, not %q", *exp)
+		return usageError("-trace records the implicit-step timeline; it requires -exp all or implicit, not %q", *exp)
 	}
 	if *measured && *exp != "all" && *exp != "implicit" {
-		// -exp feedback always runs both pricing modes; only the implicit
-		// experiment consults the flag.
-		usageError("-measured drives the implicit experiment's feedback loop; it requires -exp all or implicit, not %q", *exp)
+		// -exp feedback and -exp scenarios always run both pricing modes;
+		// only the implicit experiment consults the flag.
+		return usageError("-measured drives the implicit experiment's feedback loop; it requires -exp all or implicit, not %q", *exp)
 	}
 	if *benchout != "BENCH_sim.json" && *exp != "bench" {
-		usageError("-benchout is the -exp bench output path; it requires -exp bench, not %q", *exp)
+		return usageError("-benchout is the -exp bench output path; it requires -exp bench, not %q", *exp)
+	}
+	if *scenarioSel != "" && *exp != "scenarios" {
+		return usageError("-scenario selects from the workload corpus; it requires -exp scenarios, not %q", *exp)
+	}
+	if *scenarioDir != defaultScenarioDir && *exp != "scenarios" {
+		return usageError("-scenario-dir points -exp scenarios at a corpus; it requires -exp scenarios, not %q", *exp)
+	}
+
+	// Load and select the scenario corpus before opening any outputs, so
+	// a bad name or an unreadable corpus fails fast.
+	var specs []*scenario.Spec
+	if *exp == "scenarios" {
+		var err error
+		if specs, err = scenario.LoadDir(*scenarioDir); err != nil {
+			fmt.Fprintf(stderr, "plumbench: -scenario-dir: %v\n", err)
+			return 1
+		}
+		if specs, err = selectScenarios(specs, *scenarioSel); err != nil {
+			return usageError("%v", err)
+		}
 	}
 
 	e := core.NewExperiments(*paper)
 	if err := e.UseMachine(*model); err != nil {
-		usageError("%v", err)
+		return usageError("%v", err)
 	}
 	e.Measured = *measured
 
 	// The rendered output goes to stdout; with -obs it is teed through a
 	// checksum so the ledger's end record ties the JSONL to the exact
 	// tables this run printed.
-	var w io.Writer = os.Stdout
+	var w io.Writer = stdout
 	var outSum hash.Hash
 	if *obsPath != "" {
-		m := buildManifest(*paper, *exp, e.ModelName, *measured, e.Global.NumElems(), e.Ps)
+		m := buildManifest(*paper, *exp, e.ModelName, *measured, e.Global.NumElems(), e.Ps,
+			scenarioNames(specs))
 		ledger, err := obs.Create(*obsPath, m)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "plumbench: -obs: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "plumbench: -obs: %v\n", err)
+			return 1
 		}
 		e.Obs = ledger
 		outSum = sha256.New()
-		w = io.MultiWriter(os.Stdout, outSum)
+		w = io.MultiWriter(stdout, outSum)
 	}
 	if *spansPath != "" {
 		sink, err := core.CreateSpanSink(*spansPath)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "plumbench: -spans: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "plumbench: -spans: %v\n", err)
+			return 1
 		}
 		e.Spans = sink
 	}
@@ -169,8 +218,8 @@ func main() {
 	if *serveAddr != "" {
 		var err error
 		if srv, err = startServe(*serveAddr, *obsPath, *spansPath); err != nil {
-			fmt.Fprintf(os.Stderr, "plumbench: -serve: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "plumbench: -serve: %v\n", err)
+			return 1
 		}
 	}
 
@@ -187,15 +236,17 @@ func main() {
 
 	// finishRun seals the span file and the ledger (metrics snapshot +
 	// output checksum) and hands off to the serve loop; it runs after ANY
-	// experiment path.
-	finishRun := func() {
+	// experiment path.  Scenario ledgers are regression baselines, so
+	// they omit the host-metrics record — everything after the manifest
+	// line stays byte-identical across hosts and GOMAXPROCS.
+	finishRun := func() int {
 		if e.Spans != nil {
 			worlds := e.Spans.Worlds()
 			if err := e.Spans.Close(); err != nil {
-				fmt.Fprintf(os.Stderr, "plumbench: -spans: %v\n", err)
-				os.Exit(1)
+				fmt.Fprintf(stderr, "plumbench: -spans: %v\n", err)
+				return 1
 			}
-			fmt.Fprintf(os.Stderr, "plumbench: wrote span file %s (%d world streams)\n",
+			fmt.Fprintf(stderr, "plumbench: wrote span file %s (%d world streams)\n",
 				*spansPath, worlds)
 		}
 		if e.Obs != nil {
@@ -203,22 +254,30 @@ func main() {
 			if outSum != nil {
 				sum = hex.EncodeToString(outSum.Sum(nil))
 			}
-			epochs := e.Obs.Epochs()
-			if err := e.Obs.Close(obs.Default.Snapshot(), sum); err != nil {
-				fmt.Fprintf(os.Stderr, "plumbench: -obs: %v\n", err)
-				os.Exit(1)
+			var metrics map[string]float64
+			if *exp != "scenarios" {
+				metrics = obs.Default.Snapshot()
 			}
-			fmt.Fprintf(os.Stderr, "plumbench: wrote ledger %s (%d epochs)\n", *obsPath, epochs)
+			epochs := e.Obs.Epochs()
+			if err := e.Obs.Close(metrics, sum); err != nil {
+				fmt.Fprintf(stderr, "plumbench: -obs: %v\n", err)
+				return 1
+			}
+			fmt.Fprintf(stderr, "plumbench: wrote ledger %s (%d epochs)\n", *obsPath, epochs)
 		}
 		if srv != nil {
 			srv.finish() // never returns
 		}
+		return 0
 	}
 
 	if *exp == "bench" {
 		benchExp(w, e, *benchout)
-		finishRun()
-		return
+		return finishRun()
+	}
+	if *exp == "scenarios" {
+		scenariosExp(w, e, specs)
+		return finishRun()
 	}
 
 	var scaling []core.ScalingRow // shared by fig4/5/6/8
@@ -231,42 +290,44 @@ func main() {
 		return scaling
 	}
 
-	run := func(name string) bool { return *exp == "all" || *exp == name }
+	runExp := func(name string) bool { return *exp == "all" || *exp == name }
 
-	if run("table1") {
+	if runExp("table1") {
 		table1(w, e)
 	}
-	if run("fig2") {
+	if runExp("fig2") {
 		fig2(w)
 	}
-	if run("table2") {
+	if runExp("table2") {
 		table2(w, e)
 	}
-	if run("fig4") {
+	if runExp("fig4") {
 		fig4(w, needScaling())
 	}
-	if run("fig5") {
+	if runExp("fig5") {
 		fig5(w, needScaling())
 	}
-	if run("fig6") {
+	if runExp("fig6") {
 		fig6(w, needScaling())
 	}
-	if run("fig7") {
+	if runExp("fig7") {
 		fig7(w, e)
 	}
-	if run("fig8") {
+	if runExp("fig8") {
 		fig8(w, e, needScaling())
 	}
-	if run("implicit") {
-		implicitExp(w, e, *trace)
+	if runExp("implicit") {
+		if code := implicitExp(w, stderr, e, *trace); code != 0 {
+			return code
+		}
 	}
-	if run("machine") {
+	if runExp("machine") {
 		machineExp(w, e)
 	}
-	if run("feedback") {
+	if runExp("feedback") {
 		feedbackExp(w, e)
 	}
-	finishRun()
+	return finishRun()
 }
 
 // feedbackExp prints the analytic-vs-measured decision comparison: the
@@ -286,16 +347,6 @@ func feedbackExp(w io.Writer, e *core.Experiments) {
 	t := report.NewTable("Feedback: gain/cost decision, analytic vs measured pricing",
 		"Model", "epoch", "decision A", "gain A", "cost A",
 		"decision M", "gain M", "cost M", "TotalV A/M", "MaxV A/M")
-	decision := func(ep core.FeedbackEpoch) string {
-		switch {
-		case ep.Balanced:
-			return "balanced"
-		case ep.Accepted:
-			return "accept"
-		default:
-			return "reject"
-		}
-	}
 	for _, pr := range pairs {
 		for i := range pr.Analytic.Epochs {
 			a, m := pr.Analytic.Epochs[i], pr.Measured.Epochs[i]
@@ -330,6 +381,18 @@ func feedbackExp(w io.Writer, e *core.Experiments) {
 	fmt.Fprintln(w)
 }
 
+// decision renders one epoch's rebalancing outcome.
+func decision(ep core.FeedbackEpoch) string {
+	switch {
+	case ep.Balanced:
+		return "balanced"
+	case ep.Accepted:
+		return "accept"
+	default:
+		return "reject"
+	}
+}
+
 func machineExp(w io.Writer, e *core.Experiments) {
 	fmt.Fprintln(w, "running the machine sweep (4 topologies x 2 mappers x P sweep, Real_2)...")
 	rows := e.MachineSweep(0.33, machine.Names(), core.MachineMappers())
@@ -362,7 +425,7 @@ func machineExp(w io.Writer, e *core.Experiments) {
 	fmt.Fprintln(w)
 }
 
-func implicitExp(w io.Writer, e *core.Experiments, tracePath string) {
+func implicitExp(w, stderr io.Writer, e *core.Experiments, tracePath string) int {
 	fmt.Fprintln(w, "running the implicit workload (PCG on the adapted mesh, 2 cycles x P sweep)...")
 	rows := e.ImplicitScaling(2)
 	t := report.NewTable("Implicit workload: PCG-backed solve->adapt->balance cycle",
@@ -437,12 +500,13 @@ func implicitExp(w io.Writer, e *core.Experiments, tracePath string) {
 			tr = e.TraceImplicitStep(p, true)
 		}
 		if err := tr.WriteChromeFile(tracePath); err != nil {
-			fmt.Fprintf(os.Stderr, "plumbench: -trace: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "plumbench: -trace: %v\n", err)
+			return 1
 		}
 		fmt.Fprintf(w, "wrote %s (%d events; open in chrome://tracing or ui.perfetto.dev)\n\n",
 			tracePath, len(tr.Records))
 	}
+	return 0
 }
 
 func table1(w io.Writer, e *core.Experiments) {

@@ -54,19 +54,24 @@ func gitRevision() string {
 // configDigest hashes the run configuration that determines simulated
 // output.  Host parallelism is deliberately excluded: runs with equal
 // digests must produce byte-identical epoch records regardless of
-// GOMAXPROCS.
-func configDigest(paper bool, exp, model string, measured bool, elems int, ps []int) string {
+// GOMAXPROCS.  The scenario selection extends the canon only when
+// present, so every pre-scenario digest (and with it the committed
+// baseline ledgers) stays valid.
+func configDigest(paper bool, exp, model string, measured bool, elems int, ps []int, scen []string) string {
 	canon := fmt.Sprintf("v%d|paper=%v|exp=%s|model=%s|measured=%v|elems=%d|ps=%v",
 		obs.SchemaVersion, paper, exp, model, measured, elems, ps)
+	if len(scen) > 0 {
+		canon += fmt.Sprintf("|scenarios=%v", scen)
+	}
 	sum := sha256.Sum256([]byte(canon))
 	return hex.EncodeToString(sum[:8])
 }
 
 // buildManifest fills the ledger's first record.
-func buildManifest(paper bool, exp, model string, measured bool, elems int, ps []int) obs.Manifest {
+func buildManifest(paper bool, exp, model string, measured bool, elems int, ps []int, scen []string) obs.Manifest {
 	return obs.Manifest{
 		Tool:         "plumbench",
-		ConfigDigest: configDigest(paper, exp, model, measured, elems, ps),
+		ConfigDigest: configDigest(paper, exp, model, measured, elems, ps, scen),
 		Git:          gitRevision(),
 		GoVersion:    runtime.Version(),
 		GoOS:         runtime.GOOS,

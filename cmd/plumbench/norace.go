@@ -1,0 +1,7 @@
+//go:build !race
+
+package main
+
+// raceEnabled reports whether this binary was built with the race
+// detector.  See race.go.
+const raceEnabled = false

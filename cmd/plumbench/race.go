@@ -1,0 +1,10 @@
+//go:build race
+
+package main
+
+// raceEnabled reports whether this binary was built with the race
+// detector.  The full-corpus determinism test keys off it: race
+// instrumentation multiplies the corpus runtime by roughly an order of
+// magnitude, so the race-instrumented variant only runs when the CI
+// determinism job opts in via PLUM_RACE_CORPUS.
+const raceEnabled = true

@@ -266,6 +266,7 @@ func renderLedger(w *os.File, path string) error {
 			fmt.Sprintf("%.4f", e.SolveSeconds), waitShare)
 	}
 	t.Render(w)
+	renderScenarioSummary(w, lf.Epochs)
 	renderLedgerBlame(w, lf.Epochs)
 	if lf.Metrics != nil {
 		fmt.Fprintf(w, "host metrics: %.0f worlds, %.0f engine yields (%.0f fast-path),"+
@@ -283,6 +284,99 @@ func renderLedger(w *os.File, path string) error {
 		fmt.Fprintf(w, "%d epochs; output checksum %s\n", lf.End.Epochs, lf.End.OutputSHA256)
 	}
 	return nil
+}
+
+// renderScenarioSummary condenses scenario-corpus epochs (exp key
+// "scenario/<name>", plumbench -exp scenarios -obs) into one row per
+// scenario and pricing mode: the epoch decision string, the decision
+// divergence between the two modes, the summed solve time, and where
+// the run's critical-path waits were blamed.  Ledgers without scenario
+// epochs print nothing.
+func renderScenarioSummary(w *os.File, epochs []obs.EpochRecord) {
+	type key struct{ scen, run string }
+	type agg struct {
+		decisions string
+		solve     float64
+		wait      float64
+		blame     map[string]float64
+	}
+	rows := map[key]*agg{}
+	var names []string
+	for _, e := range epochs {
+		scen, ok := strings.CutPrefix(e.Exp, "scenario/")
+		if !ok {
+			continue
+		}
+		k := key{scen, e.Run}
+		a := rows[k]
+		if a == nil {
+			a = &agg{blame: map[string]float64{}}
+			rows[k] = a
+			if e.Run == "analytic" {
+				names = append(names, scen)
+			}
+		}
+		switch {
+		case e.Balanced:
+			a.decisions += "B"
+		case e.Accepted:
+			a.decisions += "A"
+		default:
+			a.decisions += "R"
+		}
+		a.solve += e.SolveSeconds
+		if b := e.Blame; b != nil {
+			a.wait += b.Wait
+			a.blame["sender comp"] += b.SenderCompute
+			a.blame["sender ovhd"] += b.SenderOverhead
+			a.blame["contention"] += b.Contention
+			a.blame["wire"] += b.Wire
+			a.blame["idle"] += b.Idle
+		}
+	}
+	if len(rows) == 0 {
+		return
+	}
+	sort.Strings(names)
+	diff := func(a, b string) int {
+		n := 0
+		for i := 0; i < len(a) && i < len(b); i++ {
+			if a[i] != b[i] {
+				n++
+			}
+		}
+		return n
+	}
+	topBlame := func(a *agg) string {
+		top, sec := "-", 0.0
+		for k, s := range a.blame {
+			if s > sec || (s == sec && k < top) {
+				top, sec = k, s
+			}
+		}
+		if sec <= 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%s %.4f", top, sec)
+	}
+	t := report.NewTable("Scenario summary (one row per scenario and pricing mode)",
+		"Scenario", "Run", "decisions", "diff", "Solve(s)", "CP wait(s)", "top blame")
+	for _, scen := range names {
+		an, me := rows[key{scen, "analytic"}], rows[key{scen, "measured"}]
+		d := "-"
+		if an != nil && me != nil {
+			d = fmt.Sprintf("%d", diff(an.decisions, me.decisions))
+		}
+		for _, run := range []string{"analytic", "measured"} {
+			a := rows[key{scen, run}]
+			if a == nil {
+				continue
+			}
+			t.AddRow(scen, run, a.decisions, d,
+				fmt.Sprintf("%.4f", a.solve), fmt.Sprintf("%.4f", a.wait), topBlame(a))
+		}
+	}
+	t.Render(w)
 }
 
 // renderLedgerBlame prints the per-epoch wait-blame decomposition for

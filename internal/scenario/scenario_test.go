@@ -1,0 +1,332 @@
+package scenario
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+
+	"plum/internal/machine"
+	"plum/internal/mesh"
+)
+
+// corpusDir is the committed corpus, relative to this package.
+const corpusDir = "../../ci/scenarios"
+
+func loadCorpus(t *testing.T) []*Spec {
+	t.Helper()
+	specs, err := LoadDir(corpusDir)
+	if err != nil {
+		t.Fatalf("LoadDir(%s): %v", corpusDir, err)
+	}
+	if len(specs) < 8 {
+		t.Fatalf("corpus has %d scenarios, want >= 8", len(specs))
+	}
+	return specs
+}
+
+// TestCorpusCoversKinds: the committed corpus exercises every scenario
+// family at least once — the ISSUE's coverage floor.
+func TestCorpusCoversKinds(t *testing.T) {
+	seen := map[string]int{}
+	for _, sp := range loadCorpus(t) {
+		seen[sp.Kind]++
+	}
+	for _, kind := range Kinds() {
+		if seen[kind] == 0 {
+			t.Errorf("corpus has no %q scenario", kind)
+		}
+	}
+}
+
+// TestFrontMonotonic: the front position advances monotonically with
+// the cycle number (never backwards), stays inside the domain, and hits
+// its declared endpoints — for every committed spec and a synthetic
+// adversarial one.
+func TestFrontMonotonic(t *testing.T) {
+	dom := Domain{LX: 4.7, LY: 1.8}
+	specs := loadCorpus(t)
+	specs = append(specs, &Spec{
+		Name: "degenerate", Kind: KindFront, Model: "flat", P: 4, Cycles: 1, Frac: 0.1,
+		Front: &FrontSpec{X0: 0.4, X1: 0.9, Width: 0.2},
+	})
+	for _, sp := range specs {
+		prev := math.Inf(-1)
+		for i := 0; i < sp.Cycles; i++ {
+			x := sp.FrontX(i, dom)
+			if x < prev {
+				t.Errorf("%s: FrontX(%d)=%v < FrontX(%d)=%v — front moved backwards",
+					sp.Name, i, x, i-1, prev)
+			}
+			if x < 0 || x > dom.LX {
+				t.Errorf("%s: FrontX(%d)=%v outside [0, %v]", sp.Name, i, x, dom.LX)
+			}
+			prev = x
+		}
+		if f := sp.Front; f != nil {
+			if got, want := sp.FrontX(0, dom), f.X0*dom.LX; math.Abs(got-want) > 1e-12 {
+				t.Errorf("%s: FrontX(0)=%v, want x0 %v", sp.Name, got, want)
+			}
+			last := sp.FrontX(sp.Cycles-1, dom)
+			if want := f.X1 * dom.LX; sp.Cycles > 1 && math.Abs(last-want) > 1e-12 {
+				t.Errorf("%s: FrontX(last)=%v, want x1 %v", sp.Name, last, want)
+			}
+		}
+	}
+}
+
+// TestFracBounds: the marked-edge fraction stays within the spec's
+// declared [lo, hi] envelope at every cycle, for every committed spec.
+func TestFracBounds(t *testing.T) {
+	for _, sp := range loadCorpus(t) {
+		lo, hi := sp.FracBounds()
+		if lo > hi {
+			t.Fatalf("%s: FracBounds lo=%v > hi=%v", sp.Name, lo, hi)
+		}
+		for i := 0; i < sp.Cycles; i++ {
+			f := sp.FracAt(i)
+			if f < lo || f > hi {
+				t.Errorf("%s: FracAt(%d)=%v outside declared [%v, %v]", sp.Name, i, f, lo, hi)
+			}
+		}
+		if b := sp.Burst; b != nil {
+			if got := sp.FracAt(b.Arrival); got != b.Peak {
+				t.Errorf("%s: FracAt(arrival)=%v, want peak %v", sp.Name, got, b.Peak)
+			}
+			if b.Arrival > 0 {
+				if got := sp.FracAt(b.Arrival - 1); got != b.Floor {
+					t.Errorf("%s: FracAt(arrival-1)=%v, want floor %v", sp.Name, got, b.Floor)
+				}
+			}
+		}
+	}
+}
+
+// TestStragglerRoundTrip: the per-cycle speed vector round-trips
+// through machine.Hetero unchanged — building a Hetero from SpeedsAt
+// and reading Speed(r) back reproduces exactly the factors the spec
+// declared, for every committed spec and cycle.
+func TestStragglerRoundTrip(t *testing.T) {
+	for _, sp := range loadCorpus(t) {
+		base, err := machine.ByName(sp.Model, sp.P)
+		if err != nil {
+			t.Fatalf("%s: %v", sp.Name, err)
+		}
+		for i := 0; i < sp.Cycles; i++ {
+			speeds := sp.SpeedsAt(i)
+			if len(speeds) != sp.P {
+				t.Fatalf("%s: SpeedsAt(%d) has %d entries, want %d", sp.Name, i, len(speeds), sp.P)
+			}
+			h := machine.NewHetero(base, speeds)
+			for r := 0; r < sp.P; r++ {
+				if got, want := h.Speed(r), base.Speed(r)*speeds[r]; got != want {
+					t.Errorf("%s: cycle %d rank %d: Hetero speed %v, want %v",
+						sp.Name, i, r, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestCycleSpeedWindow: the CycleSpeed wrapper applies the slowdown
+// only inside the declared window and reports full speed at the pre-run
+// cycle (-1) — the blindness that makes the partitioner's targets
+// transient-oblivious.
+func TestCycleSpeedWindow(t *testing.T) {
+	sp := &Spec{
+		Name: "w", Kind: KindStraggler, Model: "flat", P: 4, Cycles: 4, Frac: 0.1,
+		Straggler: &StragglerSpec{Ranks: []int{2}, Slowdown: 0.5, From: 1, To: 3},
+	}
+	if err := sp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	m, dyn, err := sp.BuildMachine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dyn == nil {
+		t.Fatal("straggler spec built no CycleSpeed wrapper")
+	}
+	base, _ := machine.ByName("flat", 4)
+	// Pre-run (cycle -1): no slowdown anywhere.
+	for r := 0; r < 4; r++ {
+		if m.Speed(r) != base.Speed(r) {
+			t.Errorf("pre-run Speed(%d)=%v, want base %v", r, m.Speed(r), base.Speed(r))
+		}
+	}
+	want := map[int]float64{0: 1, 1: 0.5, 2: 0.5, 3: 1}
+	for cycle, factor := range want {
+		dyn.SetCycle(cycle)
+		if got := m.Speed(2); got != base.Speed(2)*factor {
+			t.Errorf("cycle %d: Speed(2)=%v, want %v", cycle, got, base.Speed(2)*factor)
+		}
+		if got := m.Speed(0); got != base.Speed(0) {
+			t.Errorf("cycle %d: non-straggler Speed(0)=%v changed", cycle, got)
+		}
+	}
+	// Reset returns to the pre-run cycle.
+	m.Reset()
+	if got := m.Speed(2); got != base.Speed(2) {
+		t.Errorf("post-Reset Speed(2)=%v, want base", got)
+	}
+}
+
+// TestBackgroundWindows: the multi-job wrapper tolls only contended
+// (inter-group) transfers whose injection lands in a busy window, and
+// the analytic plane (Pair) never sees the peer.
+func TestBackgroundWindows(t *testing.T) {
+	sp := &Spec{
+		Name: "mj", Kind: KindMultiJob, Model: "fattree", P: 8, Cycles: 2, Frac: 0.1,
+		MultiJob: &MultiJobSpec{Period: 1.0, Duty: 0.5, Load: 4},
+	}
+	if err := sp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	m, _, err := sp.BuildMachine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bg, ok := m.(*Background)
+	if !ok {
+		t.Fatalf("BuildMachine returned %T, want *Background", m)
+	}
+	base, _ := machine.ByName("fattree", 8)
+	if got, want := m.Pair(0, 7), base.Pair(0, 7); got != want {
+		t.Errorf("Pair(0,7)=%v, want unloaded %v — the peer leaked into the analytic plane", got, want)
+	}
+	if !bg.busyAt(0.1) || bg.busyAt(0.6) {
+		t.Errorf("busyAt: got busy(0.1)=%v busy(0.6)=%v, want true/false (duty 0.5, phase 0)",
+			bg.busyAt(0.1), bg.busyAt(0.6))
+	}
+	if bg.busyAt(1.6) || !bg.busyAt(2.1) {
+		t.Errorf("busyAt not periodic: busy(1.6)=%v busy(2.1)=%v", bg.busyAt(1.6), bg.busyAt(2.1))
+	}
+	m.Reset()
+	nbytes := 1 << 20
+	// Intra-group (uncontended) transfers never pay the toll.
+	intra := m.Acquire(0, 1, nbytes, 0.1)
+	m.Reset()
+	if baseT := base.Acquire(0, 1, nbytes, 0.1); intra != baseT {
+		t.Errorf("intra-group Acquire %v, want base %v", intra, baseT)
+	}
+	base.Reset()
+	// An inter-group transfer injected in the busy window pays extra.
+	m.Reset()
+	busy := m.Acquire(0, 7, nbytes, 0.1)
+	base.Reset()
+	if baseT := base.Acquire(0, 7, nbytes, 0.1); busy <= baseT {
+		t.Errorf("busy-window inter-group Acquire %v not slower than base %v", busy, baseT)
+	}
+}
+
+// TestSpecValidation: table-driven constraint checks, each naming its
+// offending field.
+func TestSpecValidation(t *testing.T) {
+	valid := func() *Spec {
+		return &Spec{Name: "ok", Kind: KindFront, Model: "flat", P: 8, Cycles: 4, Frac: 0.1,
+			Front: &FrontSpec{X0: 0.2, X1: 0.8, Width: 0.2}}
+	}
+	cases := []struct {
+		name  string
+		mut   func(*Spec)
+		field string
+	}{
+		{"bad name", func(s *Spec) { s.Name = "Bad Name" }, "name"},
+		{"empty name", func(s *Spec) { s.Name = "" }, "name"},
+		{"unknown kind", func(s *Spec) { s.Kind = "wavefront" }, "kind"},
+		{"p too small", func(s *Spec) { s.P = 1 }, "p"},
+		{"p too big", func(s *Spec) { s.P = 4096 }, "p"},
+		{"cycles zero", func(s *Spec) { s.Cycles = 0 }, "cycles"},
+		{"unknown model", func(s *Spec) { s.Model = "dragonfly" }, "model"},
+		{"unknown mapper", func(s *Spec) { s.Mapper = "magic" }, "mapper"},
+		{"frac zero", func(s *Spec) { s.Frac = 0 }, "frac"},
+		{"frac NaN", func(s *Spec) { s.Frac = math.NaN() }, "frac"},
+		{"coarsen high", func(s *Spec) { s.CoarsenBelow = 1 }, "coarsen_below"},
+		{"front backwards", func(s *Spec) { s.Front.X1 = 0.1 }, "front.x1"},
+		{"front width", func(s *Spec) { s.Front.Width = 0 }, "front.width"},
+		{"front shape", func(s *Spec) { s.Front.Shape = "sphere" }, "front.shape"},
+		{"kind section missing", func(s *Spec) { s.Front = nil }, "front"},
+		{"burst arrival", func(s *Spec) {
+			s.Burst = &BurstSpec{Arrival: 9, Peak: 0.3, Decay: 0.5}
+		}, "burst.arrival"},
+		{"burst floor above peak", func(s *Spec) {
+			s.Burst = &BurstSpec{Arrival: 1, Peak: 0.2, Decay: 0.5, Floor: 0.3}
+		}, "burst.floor"},
+		{"straggler rank range", func(s *Spec) {
+			s.Straggler = &StragglerSpec{Ranks: []int{8}, Slowdown: 0.5}
+		}, "straggler.ranks"},
+		{"straggler window", func(s *Spec) {
+			s.Straggler = &StragglerSpec{Ranks: []int{0}, Slowdown: 0.5, From: 3, To: 2}
+		}, "straggler.from"},
+		{"multijob needs fattree", func(s *Spec) {
+			s.MultiJob = &MultiJobSpec{Period: 1, Duty: 0.5, Load: 1}
+		}, "multijob"},
+	}
+	for _, tc := range cases {
+		s := valid()
+		tc.mut(s)
+		err := s.Validate()
+		if err == nil {
+			t.Errorf("%s: Validate accepted the spec", tc.name)
+			continue
+		}
+		fe, ok := err.(*FieldError)
+		if !ok {
+			t.Errorf("%s: error %T is not *FieldError: %v", tc.name, err, err)
+			continue
+		}
+		if fe.Field != tc.field {
+			t.Errorf("%s: blamed field %q, want %q (%v)", tc.name, fe.Field, tc.field, err)
+		}
+	}
+	if err := valid().Validate(); err != nil {
+		t.Errorf("valid spec rejected: %v", err)
+	}
+}
+
+// TestIndicatorMovesRefinement: the composed indicator actually peaks
+// at the front position — the value at the front's current x dominates
+// the value at its eventual destination, and the relation flips as the
+// front arrives there.
+func TestIndicatorMovesRefinement(t *testing.T) {
+	dom := Domain{LX: 4.7, LY: 1.8}
+	sp := &Spec{
+		Name: "m", Kind: KindFront, Model: "flat", P: 4, Cycles: 4, Frac: 0.1,
+		Front: &FrontSpec{X0: 0.2, X1: 0.8, Width: 0.15, Radius: 0.3},
+	}
+	if err := sp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	ind := sp.Indicator(dom)
+	start := mesh.Vec3{0.2 * dom.LX, dom.LY / 2, 0}
+	end := mesh.Vec3{0.8 * dom.LX, dom.LY / 2, 0}
+	if f := ind(0); f(start) <= f(end) {
+		t.Errorf("cycle 0: indicator at start %v <= at end %v", f(start), f(end))
+	}
+	if f := ind(sp.Cycles - 1); f(end) <= f(start) {
+		t.Errorf("last cycle: indicator at end %v <= at start %v", f(end), f(start))
+	}
+}
+
+// TestLoadFileNameMismatch: a spec whose name disagrees with its file
+// base name is rejected — the corpus/golden pairing invariant.
+func TestLoadFileNameMismatch(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "other-name.json")
+	writeFile(t, path, `{"name":"front-x","kind":"front","model":"flat","frac":0.1,
+		"front":{"x0":0.2,"x1":0.8,"width":0.2}}`)
+	if _, err := LoadFile(path); err == nil {
+		t.Fatal("LoadFile accepted a name/file mismatch")
+	}
+}
+
+// TestLoadDefaults: p, cycles, and mapper default as documented.
+func TestLoadDefaults(t *testing.T) {
+	s, err := LoadBytes([]byte(`{"name":"d","kind":"front","model":"flat","frac":0.1,
+		"front":{"x0":0.2,"x1":0.8,"width":0.2}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.P != 8 || s.Cycles != 4 || s.Mapper != "heu" {
+		t.Errorf("defaults: p=%d cycles=%d mapper=%q, want 8/4/heu", s.P, s.Cycles, s.Mapper)
+	}
+}
