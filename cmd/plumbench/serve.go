@@ -1,40 +1,27 @@
 package main
 
 import (
-	"encoding/json"
 	"fmt"
 	"net"
 	"net/http"
-	"net/http/pprof"
 	"os"
 	"path/filepath"
 	"sync/atomic"
 
-	"plum/internal/event"
-	"plum/internal/obs"
-	"plum/internal/obs/diff"
+	"plum/internal/serve"
 )
 
 // The -serve mode: a host-plane HTTP endpoint that stays up while the
-// experiments run (and afterwards, until killed), the stepping stone to
-// the ROADMAP's long-running plumserve.  Everything served is host
-// data — the registry, run ledgers on disk, the Go profiler — so
-// scraping it cannot perturb a simulated run in progress.
-//
-//	/metrics        the obs registry, Prometheus text exposition
-//	/runs           JSON listing of *.jsonl ledgers in the ledger dir
-//	/spans          JSON summary of the -spans file (worlds, blame)
-//	/diff           differential analysis vs ?base=<ledger in the dir>
-//	/healthz        {"status":"running"|"done"} — CI polls this
-//	/debug/pprof/*  the standard Go profiler endpoints
+// experiments run (and afterwards, until killed).  The handlers
+// themselves — /metrics, /runs, /spans, /diff, /healthz, /debug/pprof —
+// live in internal/serve (ObsState.Register) and are the same surface
+// plumserve mounts, so the two servers cannot drift; this file only
+// binds the listener and tracks run completion for /healthz.
 
 // server publishes the registry and ledger directory over HTTP.
 type server struct {
-	dir    string // directory listed by /runs
-	ledger string // this run's -obs ledger (the "current" side of /diff)
-	spans  string // the -spans file served by /spans ("" = none)
-	addr   string // bound listen address (resolves ":0" for tests)
-	done   atomic.Bool
+	addr string // bound listen address (resolves ":0" for tests)
+	done atomic.Bool
 }
 
 // startServe binds addr synchronously (so a bad address fails the run
@@ -44,33 +31,25 @@ func startServe(addr, ledgerPath, spansPath string) (*server, error) {
 	if ledgerPath != "" {
 		dir = filepath.Dir(ledgerPath)
 	}
-	s := &server{dir: dir, ledger: ledgerPath, spans: spansPath}
+	s := &server{}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
 	s.addr = ln.Addr().String()
+	obsState := &serve.ObsState{
+		Dir:    dir,
+		Ledger: ledgerPath,
+		Spans:  spansPath,
+		Health: func() string {
+			if s.done.Load() {
+				return "done"
+			}
+			return "running"
+		},
+	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-		obs.Default.WritePrometheus(w)
-	})
-	mux.HandleFunc("/runs", s.handleRuns)
-	mux.HandleFunc("/spans", s.handleSpans)
-	mux.HandleFunc("/diff", s.handleDiff)
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		status := "running"
-		if s.done.Load() {
-			status = "done"
-		}
-		w.Header().Set("Content-Type", "application/json")
-		fmt.Fprintf(w, "{\"status\":%q}\n", status)
-	})
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	obsState.Register(mux)
 	go func() {
 		if err := http.Serve(ln, mux); err != nil {
 			fmt.Fprintf(os.Stderr, "plumbench: -serve: %v\n", err)
@@ -80,130 +59,6 @@ func startServe(addr, ledgerPath, spansPath string) (*server, error) {
 	fmt.Fprintf(os.Stderr, "plumbench: serving /metrics, /runs, /spans, /diff, /healthz, /debug/pprof on %s\n",
 		ln.Addr())
 	return s, nil
-}
-
-// runEntry is one /runs listing line.
-type runEntry struct {
-	File      string `json:"file"`
-	Size      int64  `json:"size"`
-	Epochs    int    `json:"epochs,omitempty"`
-	Streaming bool   `json:"streaming,omitempty"` // no end record yet (run in progress)
-	Error     string `json:"error,omitempty"`     // unreadable ledger
-}
-
-// handleRuns lists the ledgers next to the -obs path.  A ledger being
-// written concurrently has no end record yet; the lenient reader
-// reports the epochs flushed so far with Streaming set, so a live
-// scrape sees progress instead of an error.
-func (s *server) handleRuns(w http.ResponseWriter, r *http.Request) {
-	paths, _ := filepath.Glob(filepath.Join(s.dir, "*.jsonl"))
-	entries := []runEntry{}
-	for _, p := range paths {
-		e := runEntry{File: filepath.Base(p)}
-		if fi, err := os.Stat(p); err == nil {
-			e.Size = fi.Size()
-		}
-		if lf, trunc, err := obs.ReadLedgerFileLenient(p); err != nil {
-			e.Error = err.Error()
-		} else {
-			e.Epochs = len(lf.Epochs)
-			e.Streaming = trunc
-		}
-		entries = append(entries, e)
-	}
-	w.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	enc.Encode(entries)
-}
-
-// spanWorldEntry is one world stream of the /spans response: the stream
-// header plus the bounded per-epoch blame summaries — never the spans
-// themselves, which may number millions.
-type spanWorldEntry struct {
-	Label      map[string]string  `json:"label,omitempty"`
-	P          int                `json:"p"`
-	Ring       int                `json:"ring"`
-	Sample     int                `json:"sample"`
-	Spans      int                `json:"spans"`
-	Epochs     int                `json:"epochs"`
-	SampledOut int64              `json:"sampled_out,omitempty"`
-	Complete   bool               `json:"complete"`
-	Blame      []event.EpochBlame `json:"blame,omitempty"`
-}
-
-// handleSpans summarizes the -spans file.  The reader tolerates a file
-// still being appended to (incomplete trailing stream), so live scrapes
-// during a run see every world flushed so far.
-func (s *server) handleSpans(w http.ResponseWriter, r *http.Request) {
-	if s.spans == "" {
-		http.Error(w, "no -spans file for this run", http.StatusNotFound)
-		return
-	}
-	worlds, err := event.ReadSpansFile(s.spans)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusServiceUnavailable)
-		return
-	}
-	entries := make([]spanWorldEntry, len(worlds))
-	for i, sw := range worlds {
-		entries[i] = spanWorldEntry{
-			Label: sw.Label, P: sw.P, Ring: sw.Ring, Sample: sw.Sample,
-			Spans: len(sw.Spans), Epochs: sw.Epochs,
-			SampledOut: sw.SampledOut, Complete: sw.Complete,
-			Blame: sw.Blame,
-		}
-	}
-	w.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	enc.Encode(entries)
-}
-
-// handleDiff runs an exact differential analysis of this run's -obs
-// ledger against a base ledger from the same directory:
-//
-//	/diff?base=<file>&format=text|md|json
-//
-// The base is confined to the ledger directory (a bare file name, as
-// listed by /runs) so the endpoint cannot read arbitrary paths.  Both
-// sides read leniently — diffing against a run still in progress
-// compares the epochs flushed so far.
-func (s *server) handleDiff(w http.ResponseWriter, r *http.Request) {
-	if s.ledger == "" {
-		http.Error(w, "no -obs ledger for this run", http.StatusNotFound)
-		return
-	}
-	base := r.URL.Query().Get("base")
-	if base == "" {
-		http.Error(w, "missing ?base=<ledger file> (see /runs for candidates)", http.StatusBadRequest)
-		return
-	}
-	if base != filepath.Base(base) || base == "." || base == ".." {
-		http.Error(w, "base must be a bare file name in the ledger directory", http.StatusBadRequest)
-		return
-	}
-	basePath := filepath.Join(s.dir, base)
-	rep, err := diff.LedgerFiles(basePath, s.ledger, true, diff.Options{Metrics: true})
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusServiceUnavailable)
-		return
-	}
-	switch r.URL.Query().Get("format") {
-	case "", "text":
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		rep.WriteText(w)
-	case "md":
-		w.Header().Set("Content-Type", "text/markdown; charset=utf-8")
-		rep.WriteMarkdown(w)
-	case "json":
-		w.Header().Set("Content-Type", "application/json")
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		enc.Encode(rep)
-	default:
-		http.Error(w, "format must be text, md, or json", http.StatusBadRequest)
-	}
 }
 
 // finish marks the run complete and blocks forever: -serve keeps the

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"runtime"
@@ -32,29 +33,98 @@ import (
 //     carry contention state that a concurrent world must not touch;
 //   - results land in index-addressed slots, so presentation order is
 //     the loop order, not completion order.
+//
+// Two fault contracts share one scheduler:
+//
+//   - runWorlds (the CLI sweeps) re-raises the first world panic after
+//     in-flight worlds stop — a broken invariant kills the run loudly;
+//   - runWorldsErr / runWorldsCtx (the serving path) recover each
+//     world's panic into a *WorldPanic error with the world index and
+//     goroutine stack, so one dying request can never unwind a daemon.
+
+// WorldPanic is a world job's panic recovered into an error: the world
+// index within its fan-out, the original panic value, and the goroutine
+// stack captured where the panic unwound the job.
+type WorldPanic struct {
+	World int
+	Value any
+	Stack []byte
+}
+
+func (wp *WorldPanic) Error() string {
+	return fmt.Sprintf("core: world %d panicked: %v", wp.World, wp.Value)
+}
+
+// Unwrap exposes the panic value when it was itself an error (the msg
+// runtime panics typed *msg.RankPanic / *msg.DeadlockError values), so
+// errors.As reaches the rank-level fault through the world wrapper.
+func (wp *WorldPanic) Unwrap() error {
+	if err, ok := wp.Value.(error); ok {
+		return err
+	}
+	return nil
+}
 
 // runWorlds executes jobs 0..n-1 concurrently, bounded by GOMAXPROCS
 // host threads (each job is a full simulated world; running more worlds
 // than cores just thrashes).  A job panic skips every not-yet-started
-// job, prints the failing world's goroutine stack to stderr (the
-// re-raise below unwinds runWorlds' caller, not the world), and is
+// job, prints the failing world's goroutine stack to stderr, and is
 // re-raised with the original panic value once in-flight jobs stop.
 func runWorlds(n int, job func(i int)) {
+	err := runWorldsErr(n, func(i int) error { job(i); return nil })
+	if err == nil {
+		return
+	}
+	wp := err.(*WorldPanic)
+	fmt.Fprintf(os.Stderr, "core: world %d of %d panicked: %v\n%s",
+		wp.World, n, wp.Value, wp.Stack)
+	panic(wp.Value)
+}
+
+// runWorldsErr is runWorlds with panics contained: each job runs under
+// a recover that converts a panic into a *WorldPanic, the first failure
+// (error return or panic) stops not-yet-started jobs, and the first
+// failure is returned once in-flight jobs stop.  Completed jobs' results
+// remain valid — index-addressed slots written by finished worlds are
+// untouched by a sibling's death.
+func runWorldsErr(n int, job func(i int) error) error {
+	return runWorldsCtx(context.Background(), n, job)
+}
+
+// runWorldsCtx is runWorldsErr bounded by a context: once ctx is done,
+// not-yet-started jobs are skipped and ctx.Err() is reported (unless a
+// job already failed — the first fault wins).  Jobs themselves are
+// responsible for observing ctx at their own cooperative checkpoints;
+// the scheduler only gates admission.
+func runWorldsCtx(ctx context.Context, n int, job func(i int) error) error {
 	job = timedJob(job)
+	safe := func(i int) (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = &WorldPanic{World: i, Value: r, Stack: debug.Stack()}
+			}
+		}()
+		return job(i)
+	}
 	limit := runtime.GOMAXPROCS(0)
 	if limit > n {
 		limit = n
 	}
 	if limit <= 1 {
 		for i := 0; i < n; i++ {
-			job(i)
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := safe(i); err != nil {
+				return err
+			}
 		}
-		return
+		return nil
 	}
 	var (
 		wg      sync.WaitGroup
 		mu      sync.Mutex
-		fault   any
+		fault   error
 		faulted atomic.Bool
 	)
 	sem := make(chan struct{}, limit)
@@ -62,47 +132,65 @@ func runWorlds(n int, job func(i int)) {
 		if faulted.Load() {
 			break // fail fast: don't start worlds after a failure
 		}
+		if err := ctx.Err(); err != nil {
+			mu.Lock()
+			if fault == nil {
+				fault = err
+			}
+			mu.Unlock()
+			break
+		}
 		wg.Add(1)
 		sem <- struct{}{}
 		go func(i int) {
 			defer func() {
-				if r := recover(); r != nil {
-					mu.Lock()
-					if fault == nil {
-						fault = r
-						fmt.Fprintf(os.Stderr, "core: world %d of %d panicked: %v\n%s",
-							i, n, r, debug.Stack())
-					}
-					mu.Unlock()
-					faulted.Store(true)
-				}
 				<-sem
 				wg.Done()
 			}()
-			job(i)
+			if err := safe(i); err != nil {
+				mu.Lock()
+				if fault == nil {
+					fault = err
+				}
+				mu.Unlock()
+				faulted.Store(true)
+			}
 		}(i)
 	}
 	wg.Wait()
-	if fault != nil {
-		panic(fault)
-	}
+	return fault
 }
 
 // timedJob wraps a world job with the host-plane scheduling counters:
 // worlds started/finished and the wall-clock each world took.  A world
-// that panics counts as started but not finished, so the gap between
-// the two counters is the number of worlds that died.
-func timedJob(job func(i int)) func(i int) {
+// that panics or errors counts as started but not finished, so the gap
+// between the two counters is the number of worlds that died.
+func timedJob(job func(i int) error) func(i int) error {
 	started := obs.Default.Counter("plum_worlds_started_total")
 	finished := obs.Default.Counter("plum_worlds_finished_total")
 	wall := obs.Default.Histogram("plum_world_wall_seconds", obs.TimeBuckets)
-	return func(i int) {
+	return func(i int) error {
 		started.Inc()
 		t0 := time.Now()
-		job(i)
+		if err := job(i); err != nil {
+			return err
+		}
 		wall.Observe(time.Since(t0).Seconds())
 		finished.Inc()
+		return nil
 	}
+}
+
+// WorldWallEstimate returns the mean observed world wall-clock seconds
+// of this process (the plum_worlds started/wall histogram), or fallback
+// when no world has completed yet.  The serving layer derives
+// Retry-After hints from it.
+func WorldWallEstimate(fallback float64) float64 {
+	h := obs.Default.Histogram("plum_world_wall_seconds", obs.TimeBuckets)
+	if n := h.Count(); n > 0 {
+		return h.Sum() / float64(n)
+	}
+	return fallback
 }
 
 // prewarmPartitions fills the initial-partition cache for every listed

@@ -1,0 +1,268 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"plum/internal/adapt"
+	"plum/internal/machine"
+	"plum/internal/mesh"
+	"plum/internal/msg"
+	"plum/internal/partition"
+	"plum/internal/pmesh"
+	"plum/internal/remap"
+	"plum/internal/scenario"
+	"plum/internal/solver"
+)
+
+// The serving path through the experiment harness: one request = one
+// hermetic world, driven with cooperative cancellation and fault
+// isolation so a long-running daemon (cmd/plumserve) can run many of
+// them concurrently against one shared, read-only Experiments.
+//
+// Concurrency contract: RunWorldCtx touches only immutable harness
+// state (the global mesh, the dual graph, Cfg by value) — it computes
+// its own initial partition instead of the initialPartition cache — so
+// any number of calls may run concurrently.  Determinism contract: the
+// emitted rows and SimTime are a pure function of the WorldSpec; the
+// context only decides how far the run gets, never what any completed
+// epoch contains, because the cancellation checkpoints execute the same
+// simulated collectives whether or not they fire.
+
+// WorldSpec names one servable world: everything that determines its
+// simulated output.  The canonical encoding of a WorldSpec is the cache
+// key of the serving layer.
+type WorldSpec struct {
+	P        int
+	Cycles   int
+	Model    string // machine.Names() entry, or "" for the uniform SP2
+	Mapper   Mapper
+	Workload Workload
+	Measured bool // price decisions from the previous epoch's profile
+
+	// Frac / CoarsenBelow tune the refinement dynamics (zero values
+	// take the feedback experiment's defaults: 0.12 / 0.05).
+	Frac         float64
+	CoarsenBelow float64
+
+	// Seed phase-shifts the moving-feature indicator, so distinct seeds
+	// are distinct simulations (deterministically — the seed is part of
+	// the function, not an RNG state).
+	Seed int64
+
+	// Scenario, when non-nil, replaces the moving-shock dynamics with a
+	// declarative workload spec (indicator schedule, burst fractions,
+	// stragglers, background contention); P, Cycles, Model, Mapper,
+	// Frac, and CoarsenBelow then come from the spec.
+	Scenario *scenario.Spec
+}
+
+// seedFrac maps a seed to a deterministic phase in [0, 1): a SplitMix64
+// finalizer step, so nearby seeds land far apart.
+func seedFrac(seed int64) float64 {
+	z := uint64(seed) + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return float64(z>>11) / float64(1<<53)
+}
+
+// serveIndicator is the feedback experiment's moving shock with a
+// seed-dependent starting offset: the cylinder still advances half the
+// domain over the run, but where it starts (and so which ranks the
+// imbalance hits) is the seed's choice.
+func (e *Experiments) serveIndicator(cycles int, seed int64) func(i int) func(mesh.Vec3) float64 {
+	den := cycles - 1
+	if den < 1 {
+		den = 1
+	}
+	off := 0.2 * seedFrac(seed)
+	return func(i int) func(mesh.Vec3) float64 {
+		x := (0.2 + off + 0.5*float64(i)/float64(den)) * e.LX
+		return adapt.ShockCylinderIndicator(
+			mesh.Vec3{x, e.LY / 2, 0}, mesh.Vec3{0, 0, 1},
+			0.35*e.LY, 0.17*e.LY)
+	}
+}
+
+// Validate rejects specs the runner would panic on, so the serving
+// layer can turn bad requests into 400s before any world starts.
+func (ws *WorldSpec) Validate() error {
+	if ws.Scenario != nil {
+		if ws.Seed != 0 {
+			return fmt.Errorf("scenario runs are seedless: seed must be 0, got %d", ws.Seed)
+		}
+		return nil // the scenario loader validated the spec
+	}
+	if ws.P < 1 || ws.P > 1024 {
+		return fmt.Errorf("p must be in [1, 1024], got %d", ws.P)
+	}
+	if ws.Cycles < 1 || ws.Cycles > 64 {
+		return fmt.Errorf("cycles must be in [1, 64], got %d", ws.Cycles)
+	}
+	if ws.Model != "" {
+		if _, err := machine.ByName(ws.Model, ws.P); err != nil {
+			return err
+		}
+	}
+	if ws.Mapper < MapHeuristic || ws.Mapper > MapTopo {
+		return fmt.Errorf("unknown mapper %d", int(ws.Mapper))
+	}
+	if ws.Workload != WorkloadExplicit && ws.Workload != WorkloadImplicit {
+		return fmt.Errorf("unknown workload %d", int(ws.Workload))
+	}
+	if ws.Frac < 0 || ws.Frac > 1 {
+		return fmt.Errorf("frac must be in [0, 1], got %g", ws.Frac)
+	}
+	if ws.CoarsenBelow < 0 || ws.CoarsenBelow >= 1 {
+		return fmt.Errorf("coarsen_below must be in [0, 1), got %g", ws.CoarsenBelow)
+	}
+	return nil
+}
+
+// RunWorldCtx drives one world per the spec, calling emit on rank 0
+// after each completed epoch (from inside the world — emit must not
+// block on the world's own output), and returns the run summary.
+//
+// Cancellation: ctx is observed at epoch boundaries and, through
+// Unsteady.Stop, between solver iterations; when it fires the world
+// winds down collectively (no goroutine leaks, no torn collectives) and
+// RunWorldCtx returns ctx.Err() with the rows emitted so far intact.
+// Fault isolation: a panicking world — a rank program bug, an engine
+// deadlock abort — is recovered into a *WorldPanic error (wrapping the
+// typed *msg.RankPanic / *msg.DeadlockError) instead of unwinding the
+// caller.
+func (e *Experiments) RunWorldCtx(ctx context.Context, ws WorldSpec, emit func(FeedbackEpoch)) (FeedbackRun, error) {
+	if err := ws.Validate(); err != nil {
+		return FeedbackRun{}, err
+	}
+	var (
+		topo machine.Model
+		dyn  *scenario.CycleSpeed
+		err  error
+	)
+	sp := ws.Scenario
+	p, cycles := ws.P, ws.Cycles
+	modelName := ws.Model
+	if sp != nil {
+		p, cycles, modelName = sp.P, sp.Cycles, sp.Model
+		if topo, dyn, err = sp.BuildMachine(); err != nil {
+			return FeedbackRun{}, err
+		}
+	} else if ws.Model != "" {
+		if topo, err = machine.ByName(ws.Model, p); err != nil {
+			return FeedbackRun{}, err
+		}
+	}
+	mod := e.Model
+	if topo != nil {
+		mod = e.Model.WithTopo(topo)
+	}
+	popt := e.Cfg.PartOpts
+	if topo != nil {
+		popt.TargetShares = machine.SpeedShares(topo, p)
+	}
+	initPart := partition.Partition(e.Dual, p, popt)
+
+	run := FeedbackRun{Model: modelName, Measured: ws.Measured}
+	stopped := false
+	body := func(c *msg.Comm) {
+		d := pmesh.New(c, e.Global, initPart, solver.NComp)
+		var cfg Config
+		if ws.Workload == WorkloadImplicit || sp != nil {
+			cfg = e.implicitConfig()
+			// The feedback experiment's decision-sensitive regime: one
+			// solver step per adaption and the implicit migration payload
+			// (matrix rows + preconditioner state ride with an element).
+			cfg.NAdapt = 1
+			cfg.Machine.M *= 3
+		} else {
+			cfg = e.Cfg
+		}
+		cfg.Topo = topo
+		cfg.ForceAccept = false
+		cfg.Measured = ws.Measured
+		if sp != nil {
+			cfg.Mapper = mapperByName(sp.Mapper)
+		} else {
+			cfg.Mapper = ws.Mapper
+		}
+		if cfg.Mapper == MapOptBMCM || cfg.Mapper == MapTopo {
+			cfg.Metric = remap.MaxV
+		}
+		u := NewUnsteady(d, e.Dual, cfg)
+		u.Stop = func() bool { return ctx.Err() != nil }
+		if sp != nil {
+			u.CoarsenBelow = sp.CoarsenBelow
+			u.Indicator = sp.Indicator(scenario.Domain{LX: e.LX, LY: e.LY})
+		} else {
+			u.Frac = 0.12
+			u.CoarsenBelow = 0.05
+			if ws.Frac > 0 {
+				u.Frac = ws.Frac
+			}
+			if ws.CoarsenBelow > 0 {
+				u.CoarsenBelow = ws.CoarsenBelow
+			}
+			u.Indicator = e.serveIndicator(cycles, ws.Seed)
+		}
+		u.PS.InitParallel(solver.GaussianPulse(
+			mesh.Vec3{e.LX / 2, e.LY / 2, 0.6}, 0.5))
+		for i := 0; i < cycles; i++ {
+			// Epoch boundary: the barrier both keeps scenario speed
+			// switches off the previous epoch's ranks and anchors the
+			// epoch-level cancellation checkpoint.
+			c.Barrier()
+			if dyn != nil {
+				dyn.SetCycle(i)
+			}
+			if CollectiveStop(c, u.Stop) {
+				stopped = true
+				return
+			}
+			if sp != nil {
+				u.Frac = sp.FracAt(i)
+			}
+			cs := u.Cycle()
+			if !cs.Stopped && c.Rank() == 0 {
+				row := FeedbackEpoch{
+					Cycle:     i,
+					Balanced:  cs.Step.Balanced,
+					Accepted:  cs.Step.Accepted,
+					Measured:  cs.Step.MeasuredDecision,
+					Gain:      cs.Step.Gain,
+					Cost:      cs.Step.Cost,
+					TotalV:    cs.Step.Moved.CTotal,
+					MaxV:      cs.Step.Moved.CMax,
+					Elems:     cs.Step.Counts.Elems,
+					SolveTime: cs.SolverTime,
+				}
+				run.Epochs = append(run.Epochs, row)
+				if emit != nil {
+					emit(row)
+				}
+			}
+			if cs.Stopped {
+				stopped = true
+				return
+			}
+		}
+	}
+	err = runWorldsErr(1, func(int) error {
+		var times []float64
+		if ws.Measured {
+			times, _ = msg.RunTraced(p, mod, body)
+		} else {
+			times = msg.RunModel(p, mod, body)
+		}
+		run.SimTime = msg.MaxTime(times)
+		return nil
+	})
+	if err == nil && stopped {
+		err = ctx.Err()
+		if err == nil {
+			err = context.Canceled // Stop fired between sampling and here
+		}
+	}
+	return run, err
+}

@@ -37,6 +37,22 @@ type Unsteady struct {
 	// DT is the solver pseudo-time step.
 	DT float64
 
+	// Stop, when non-nil, is the cooperative cancellation hook of the
+	// serving path: it is consulted ONLY on rank 0 (so it may read host
+	// state — a context, a drain flag — without rank divergence) and its
+	// verdict is agreed by a zero-payload allreduce at solver-iteration
+	// boundaries, so every rank leaves the solve loop at the same
+	// checkpoint.  The agreement allreduce runs whether or not the
+	// verdict fires, making the message pattern — and with it every
+	// simulated clock — a pure function of (config, Stop != nil): a
+	// served world and its offline replay stay bitwise identical.  CLI
+	// and experiment paths leave Stop nil, which skips the checkpoints
+	// entirely and keeps the golden-pinned schedules untouched.
+	Stop func() bool
+	// StopEvery is the solver-iteration cadence of the Stop checkpoints
+	// (<= 0: every 8 iterations).
+	StopEvery int
+
 	cycle int
 	// prof is the previous cycle's measured cost profile (rank 0 only;
 	// nil on other ranks, on untraced runs, and before the first solve
@@ -58,6 +74,13 @@ type CycleStats struct {
 	// Implicit-workload accounting (zero under WorkloadExplicit).
 	PCGIters     int  // total PCG iterations this cycle
 	PCGConverged bool // every solve hit the tolerance
+
+	// Stopped reports that a Stop checkpoint fired inside the solve
+	// loop: the cycle completed collectively (all ranks agreed at the
+	// same iteration boundary) but ran fewer solver steps than
+	// configured.  The caller should treat the cycle's statistics as
+	// partial and stop driving further cycles.
+	Stopped bool
 
 	// Blame is the wait-blame attribution of this cycle's critical path
 	// (rank 0 of a traced run; nil otherwise): every second the path
@@ -139,12 +162,20 @@ func (u *Unsteady) Cycle() CycleStats {
 			cs.SolverWork += r.Work
 			cs.PCGIters += r.Iterations
 			cs.PCGConverged = cs.PCGConverged && r.Converged
+			if u.stopCheckpoint(c, it, n) {
+				cs.Stopped = true
+				break
+			}
 		}
 	} else {
 		for it := 0; it < n; it++ {
 			c.PushPhase(event.PhaseSolve)
 			cs.SolverWork += u.PS.Step(u.DT)
 			c.PopPhase()
+			if u.stopCheckpoint(c, it, n) {
+				cs.Stopped = true
+				break
+			}
 		}
 	}
 	cs.SolverTime = timer.Lap()
@@ -196,3 +227,38 @@ func (u *Unsteady) Cycle() CycleStats {
 
 // CycleNumber returns how many cycles have completed.
 func (u *Unsteady) CycleNumber() int { return u.cycle }
+
+// stopCheckpoint is the mid-epoch cooperative cancellation point: after
+// solver iteration it (of n) it decides collectively whether to abandon
+// the remaining iterations.  With no Stop hook it is free — no message,
+// no clock movement.  With one, every rank joins a zero-payload
+// max-allreduce whose value is rank 0's sampled verdict, so the ranks
+// agree on exactly which iteration boundary they leave from; the
+// allreduce runs at the same cadence whether or not the verdict fires,
+// keeping served and offline schedules bitwise identical.  The final
+// iteration skips the check — the epoch is about to close anyway.
+func (u *Unsteady) stopCheckpoint(c *msg.Comm, it, n int) bool {
+	if u.Stop == nil || it+1 >= n {
+		return false
+	}
+	every := u.StopEvery
+	if every <= 0 {
+		every = 8
+	}
+	if (it+1)%every != 0 {
+		return false
+	}
+	return CollectiveStop(c, u.Stop)
+}
+
+// CollectiveStop agrees a host-plane stop verdict across a world's
+// ranks: hook is consulted only on rank 0, and the verdict is broadcast
+// through a max-allreduce so every rank adopts it at the same point of
+// its program.  Collective; runs the allreduce unconditionally.
+func CollectiveStop(c *msg.Comm, hook func() bool) bool {
+	var flag int64
+	if c.Rank() == 0 && hook() {
+		flag = 1
+	}
+	return c.AllreduceInt64(flag, msg.MaxInt64) == 1
+}

@@ -3,6 +3,7 @@ package msg
 import (
 	"fmt"
 	"math/bits"
+	"runtime/debug"
 	"strconv"
 
 	"plum/internal/event"
@@ -474,6 +475,43 @@ func (c *Comm) Recv(src, tag int) *Message {
 	return m
 }
 
+// RankPanic is the typed panic value runWorld raises when a rank's
+// program panics: the rank, the phase it was executing (PhaseNone when
+// no phase was open), the original panic value, and the goroutine stack
+// captured at the point of the panic.  Serving layers recover it to
+// turn a dying world into a structured per-request error instead of
+// process death; the CLI paths let it unwind as before.
+type RankPanic struct {
+	Rank  int
+	Phase event.Phase
+	Value any
+	Stack []byte
+}
+
+func (rp *RankPanic) Error() string {
+	return fmt.Sprintf("msg: rank %d panicked: %v", rp.Rank, rp.Value)
+}
+
+// Unwrap exposes the original panic value when it was itself an error,
+// so errors.Is/As see through the rank wrapper.
+func (rp *RankPanic) Unwrap() error {
+	if err, ok := rp.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// DeadlockError is the typed panic value runWorld raises when the
+// engine aborts blocked ranks with no matching send in flight — every
+// listed rank was stuck in Recv when the calendar drained.
+type DeadlockError struct {
+	Ranks []int
+}
+
+func (d *DeadlockError) Error() string {
+	return fmt.Sprintf("msg: deadlock: ranks %v blocked in Recv with no matching send in flight", d.Ranks)
+}
+
 // Run executes fn on p ranks and blocks until all complete.  A panic on
 // any rank is re-raised on the caller after all ranks stop.
 func Run(p int, fn func(*Comm)) {
@@ -534,17 +572,22 @@ func runWorld(p int, model *CostModel, traced bool, spanOpts *event.SpanOptions,
 		comms[i] = &Comm{rank: i, world: w}
 	}
 	panics := make([]any, p)
+	stacks := make([][]byte, p)
 	defer w.flushStats() // flush even when a rank panic unwinds runWorld
 	w.eng.Run(func(r int) {
 		defer func() {
 			if e := recover(); e != nil {
 				panics[r] = e
+				stacks[r] = debug.Stack()
 			}
 		}()
 		fn(comms[r])
 	})
 	// A real panic on one rank starves its partners, which then abort as
-	// deadlocked; report the root cause, not the symptom.
+	// deadlocked; report the root cause, not the symptom.  Both faults
+	// re-raise typed values (*RankPanic, *DeadlockError) so a recovering
+	// caller — the serving layer — can attribute the failure to a rank
+	// and phase instead of parsing a message string.
 	var deadlocked []int
 	for r, e := range panics {
 		if e == nil {
@@ -554,10 +597,10 @@ func runWorld(p int, model *CostModel, traced bool, spanOpts *event.SpanOptions,
 			deadlocked = append(deadlocked, r)
 			continue
 		}
-		panic(fmt.Sprintf("msg: rank %d panicked: %v", r, e))
+		panic(&RankPanic{Rank: r, Phase: comms[r].curPhase, Value: e, Stack: stacks[r]})
 	}
 	if len(deadlocked) > 0 {
-		panic(fmt.Sprintf("msg: deadlock: ranks %v blocked in Recv with no matching send in flight", deadlocked))
+		panic(&DeadlockError{Ranks: deadlocked})
 	}
 	if w.spans != nil {
 		if err := w.spans.Close(); err != nil {

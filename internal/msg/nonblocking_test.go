@@ -81,20 +81,63 @@ func TestIrecvOverlapHidesWire(t *testing.T) {
 	}
 }
 
-// TestDeadlockPanics: mutually waiting ranks are reported instead of
-// hanging the test binary forever.
+// TestDeadlockPanics: mutually waiting ranks are reported as a typed
+// *DeadlockError naming the stuck ranks instead of hanging the test
+// binary forever.
 func TestDeadlockPanics(t *testing.T) {
 	defer func() {
 		e := recover()
 		if e == nil {
 			t.Fatal("expected deadlock panic")
 		}
-		if s, ok := e.(string); !ok || !strings.Contains(s, "deadlock") {
-			t.Fatalf("panic %v does not name the deadlock", e)
+		d, ok := e.(*DeadlockError)
+		if !ok || !strings.Contains(d.Error(), "deadlock") {
+			t.Fatalf("panic %v (%T) is not a *DeadlockError naming the deadlock", e, e)
+		}
+		if len(d.Ranks) != 2 {
+			t.Fatalf("deadlock ranks %v, want both ranks stuck", d.Ranks)
 		}
 	}()
 	Run(2, func(c *Comm) {
 		c.Recv(1-c.Rank(), 99) // both wait, nobody sends
+	})
+}
+
+// TestRankPanicTyped: a panicking rank program re-raises as *RankPanic
+// carrying the rank, the open phase, the original value, and a stack —
+// the contract the serving layer's fault isolation recovers on.
+func TestRankPanicTyped(t *testing.T) {
+	defer func() {
+		e := recover()
+		rp, ok := e.(*RankPanic)
+		if !ok {
+			t.Fatalf("panic %v (%T), want *RankPanic", e, e)
+		}
+		if rp.Rank != 1 {
+			t.Errorf("rank = %d, want 1", rp.Rank)
+		}
+		if rp.Phase != event.PhaseSolve {
+			t.Errorf("phase = %v, want %v", rp.Phase, event.PhaseSolve)
+		}
+		if rp.Value != "boom" {
+			t.Errorf("value = %v, want boom", rp.Value)
+		}
+		if len(rp.Stack) == 0 {
+			t.Error("empty stack")
+		}
+		if !strings.Contains(rp.Error(), "rank 1 panicked: boom") {
+			t.Errorf("error text %q", rp.Error())
+		}
+	}()
+	Run(2, func(c *Comm) {
+		if c.Rank() == 1 {
+			c.PushPhase(event.PhaseSolve)
+			panic("boom")
+		}
+		// Rank 0 blocks on a message that never comes once rank 1 dies;
+		// the engine aborts it as deadlocked and runWorld reports the
+		// panic as the root cause, not the starvation.
+		c.Release(c.Recv(1, 7))
 	})
 }
 

@@ -1,0 +1,85 @@
+package serve
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Deterministic fault injection for the chaos harness.  A chaos spec
+// rides inside the request, the injection executes inside the world's
+// real emit path (on the rank-0 goroutine, while the world holds the
+// engine), so an injected panic unwinds through the genuine
+// RankPanic -> WorldPanic -> WorldError machinery and an injected stall
+// consumes genuine host wall-clock against the request deadline —
+// nothing is simulated about the failure, only its trigger.
+//
+// Grammar:
+//
+//	panic@N      panic on the rank-0 goroutine when epoch N's row emits
+//	stall@N:MS   sleep MS host-milliseconds when epoch N's row emits
+
+// chaosSpec is a parsed chaos request field.
+type chaosSpec struct {
+	kind    string // "panic" or "stall"
+	epoch   int
+	stallMS int
+}
+
+// parseChaos parses the grammar above.
+func parseChaos(s string) (chaosSpec, error) {
+	var cs chaosSpec
+	kind, rest, ok := strings.Cut(s, "@")
+	if !ok {
+		return cs, fmt.Errorf("want kind@epoch, got %q", s)
+	}
+	cs.kind = kind
+	switch kind {
+	case "panic":
+		n, err := strconv.Atoi(rest)
+		if err != nil || n < 0 {
+			return cs, fmt.Errorf("want panic@N with N >= 0, got %q", s)
+		}
+		cs.epoch = n
+	case "stall":
+		epochStr, msStr, ok := strings.Cut(rest, ":")
+		if !ok {
+			return cs, fmt.Errorf("want stall@N:MS, got %q", s)
+		}
+		n, err1 := strconv.Atoi(epochStr)
+		ms, err2 := strconv.Atoi(msStr)
+		if err1 != nil || err2 != nil || n < 0 || ms < 0 || ms > 60_000 {
+			return cs, fmt.Errorf("want stall@N:MS with N >= 0 and MS in [0, 60000], got %q", s)
+		}
+		cs.epoch, cs.stallMS = n, ms
+	default:
+		return cs, fmt.Errorf("unknown chaos kind %q (panic, stall)", kind)
+	}
+	return cs, nil
+}
+
+// buildEmit returns the per-epoch hook run inside the world before the
+// row is forwarded: a no-op without chaos, the configured fault at its
+// epoch with it.  The spec was validated at admission, so a parse
+// failure here is impossible; the zero spec injects nothing.
+func (s *Server) buildEmit(req *Request) func(epoch int) {
+	if req.Chaos == "" || !s.cfg.Chaos {
+		return func(int) {}
+	}
+	cs, err := parseChaos(req.Chaos)
+	if err != nil {
+		return func(int) {}
+	}
+	return func(epoch int) {
+		if epoch != cs.epoch {
+			return
+		}
+		switch cs.kind {
+		case "panic":
+			panic(fmt.Sprintf("chaos: injected panic at epoch %d", epoch))
+		case "stall":
+			time.Sleep(time.Duration(cs.stallMS) * time.Millisecond)
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package serve
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseRequestStrict(t *testing.T) {
+	for _, bad := range []string{
+		`{"p":4,"cycels":2}`, // misspelled field
+		`{"p":"four"}`,       // type mismatch
+		`{"p":4}{"p":8}`,     // trailing object
+		`{"p":4} garbage`,    // trailing junk
+		`[1,2,3]`,            // not an object
+		`{"p":4,"unknown":"field"}`,
+	} {
+		if _, err := ParseRequest(strings.NewReader(bad)); err == nil {
+			t.Errorf("ParseRequest accepted %q", bad)
+		}
+	}
+	req, err := ParseRequest(strings.NewReader(`{"p":4,"cycles":2,"mapper":"opt"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.P != 4 || req.Cycles != 2 || req.Mapper != "opt" {
+		t.Errorf("parsed %+v", req)
+	}
+}
+
+func TestRequestDigest(t *testing.T) {
+	// Defaults are canonical: the empty request and its spelled-out form
+	// share an address.
+	a := (&Request{}).Digest()
+	b := (&Request{P: 8, Cycles: 4, Mapper: "heu", Workload: "implicit"}).Digest()
+	if a != b {
+		t.Error("defaulted and spelled-out requests got different digests")
+	}
+	if len(a) != 64 {
+		t.Errorf("digest length %d, want 64 hex chars", len(a))
+	}
+	// Every simulated-meaning field moves the address; timeout does not.
+	base := Request{P: 4, Cycles: 2}
+	for name, r := range map[string]Request{
+		"seed":     {P: 4, Cycles: 2, Seed: 1},
+		"cycles":   {P: 4, Cycles: 3},
+		"measured": {P: 4, Cycles: 2, Measured: true},
+		"chaos":    {P: 4, Cycles: 2, Chaos: "panic@0"},
+		"scenario": {Scenario: "x"},
+	} {
+		if r.Digest() == base.Digest() {
+			t.Errorf("%s did not change the digest", name)
+		}
+	}
+	to := Request{P: 4, Cycles: 2, TimeoutSeconds: 9}
+	if to.Digest() != base.Digest() {
+		t.Error("timeout_seconds changed the digest: a host-plane knob leaked into the canon")
+	}
+}
+
+func TestRequestSpecValidation(t *testing.T) {
+	for name, body := range map[string]string{
+		"bad mapper":        `{"mapper":"nope"}`,
+		"bad workload":      `{"workload":"quantum"}`,
+		"p out of range":    `{"p":9999}`,
+		"unknown scenario":  `{"scenario":"missing"}`,
+		"scenario plus p":   `{"scenario":"s","p":4}`,
+		"scenario and seed": `{"scenario":"s","seed":3}`,
+	} {
+		req, err := ParseRequest(strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("%s: parse: %v", name, err)
+		}
+		if _, err := req.Spec(nil); err == nil {
+			t.Errorf("%s: Spec accepted %s", name, body)
+		}
+	}
+}
+
+func TestParseChaos(t *testing.T) {
+	good := map[string]chaosSpec{
+		"panic@0":     {kind: "panic", epoch: 0},
+		"panic@3":     {kind: "panic", epoch: 3},
+		"stall@1:250": {kind: "stall", epoch: 1, stallMS: 250},
+		"stall@0:0":   {kind: "stall"},
+	}
+	for s, want := range good {
+		got, err := parseChaos(s)
+		if err != nil || got != want {
+			t.Errorf("parseChaos(%q) = %+v, %v; want %+v", s, got, err, want)
+		}
+	}
+	for _, bad := range []string{"", "panic", "panic@", "panic@-1", "stall@1", "stall@1:999999", "explode@2", "panic@x"} {
+		if _, err := parseChaos(bad); err == nil {
+			t.Errorf("parseChaos accepted %q", bad)
+		}
+	}
+}
+
+func TestRenderBodyShape(t *testing.T) {
+	body := RenderBody([]Row{{Kind: "epoch", Cycle: 0}}, 2.5, "abc")
+	lines := strings.Split(strings.TrimRight(string(body), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("%d lines, want 2", len(lines))
+	}
+	if !strings.Contains(lines[1], `"kind":"end"`) || !strings.Contains(lines[1], `"rows":1`) {
+		t.Errorf("trailer %q", lines[1])
+	}
+}
